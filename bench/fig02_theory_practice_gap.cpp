@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fig. 2: the theory-practice gap. For anchor layers of ResNet-50 /
+ * MobileNet-V3 and for the full models, compares:
+ *
+ *  (1) fixed output-stationary dataflow + fixed layout, with an "error
+ *      bar" = the same dataflow under every layout of the space;
+ *  (2) the best dataflow searched *ignoring* layout (theoretical best);
+ *  (3) that theoretical dataflow evaluated under the actual layouts
+ *      (practice) — min..max across the layout space;
+ *  (4) FEATHER co-switching (dataflow, layout) per layer.
+ *
+ * Expected shape (paper): (2) beats (1) substantially, but in practice (3)
+ * can be 1-2 orders of magnitude worse than theory under a discordant
+ * layout (up to 128x on single layers); FEATHER (4) matches theory.
+ */
+
+#include <cstdio>
+
+#include "baselines/arch_zoo.hpp"
+#include "common/table.hpp"
+#include "layoutloop/mapper.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace feather;
+
+namespace {
+
+struct Fig2Row
+{
+    int64_t fixed_min = 0, fixed_max = 0;
+    int64_t theory = 0;
+    int64_t practice_min = 0, practice_max = 0;
+    int64_t feather = 0;
+};
+
+/** Minimum ideal-cycles mapping over the TOPS space (layout-blind). */
+Mapping
+theoreticalBest(const Mapper &tops, const LayerSpec &layer, int64_t *cycles)
+{
+    const ArchSpec &arch = tops.arch();
+    Mapping best;
+    int64_t best_cycles = -1;
+    for (const Mapping &m : tops.candidateMappings(layer)) {
+        // Layout-blind: evaluate under a fictitious conflict-free buffer.
+        ArchSpec ideal = arch;
+        ideal.reorder = ReorderCapability::Rir;
+        const EvalResult r = evaluateMapping(ideal, layer, m,
+                                             arch.layouts.front());
+        if (!r.valid) continue;
+        if (best_cycles < 0 || r.compute_cycles < best_cycles) {
+            best_cycles = r.compute_cycles;
+            best = m;
+        }
+    }
+    *cycles = best_cycles;
+    return best;
+}
+
+Fig2Row
+analyzeLayer(const LayerSpec &layer)
+{
+    Fig2Row row;
+    const ArchSpec fixed_arch = sigmaLikeFixed(WorkloadKind::Conv,
+                                               "HWC_C32");
+    const Mapper tops(featherArch(WorkloadKind::Conv));
+
+    // (1) fixed output-stationary dataflow across layouts.
+    Mapping os;
+    os.cols = {{Dim::Q, 16}};
+    os.rows = {{Dim::P, 16}};
+    if (layer.conv.depthwise) {
+        os.cols = {{Dim::Q, 16}};
+        os.rows = {{Dim::P, 16}};
+    }
+    for (const Layout &l : convLayoutSpace()) {
+        const EvalResult r = evaluateMapping(fixed_arch, layer, os, l);
+        if (!r.valid) continue;
+        const int64_t c = r.compute_cycles + r.stall_cycles;
+        if (row.fixed_min == 0 || c < row.fixed_min) row.fixed_min = c;
+        if (c > row.fixed_max) row.fixed_max = c;
+    }
+
+    // (2) theoretical best dataflow, layout-blind.
+    Mapping theory = theoreticalBest(tops, layer, &row.theory);
+
+    // (3) that dataflow under real layouts (no reordering support).
+    for (const Layout &l : convLayoutSpace()) {
+        ArchSpec practical = fixed_arch;
+        practical.layouts = {l};
+        const EvalResult r = evaluateMapping(practical, layer, theory, l);
+        if (!r.valid) continue;
+        const int64_t c = r.compute_cycles + r.stall_cycles;
+        if (row.practice_min == 0 || c < row.practice_min) {
+            row.practice_min = c;
+        }
+        if (c > row.practice_max) row.practice_max = c;
+    }
+
+    // (4) FEATHER: co-switched (dataflow, layout).
+    row.feather = Mapper(featherArch(WorkloadKind::Conv))
+                      .searchLayer(layer)
+                      .total_cycles;
+    return row;
+}
+
+void
+runModel(const char *name, const std::vector<LayerSpec> &model,
+         const std::vector<int> &anchor_indices)
+{
+    std::printf("\n=== Fig. 2: %s ===\n", name);
+    Table t({"layer", "fixed DF+layout", "theory best", "practice range",
+             "FEATHER", "theory-practice gap"});
+
+    const auto mac_layers = macLayers(model);
+    Fig2Row total;
+    for (size_t i = 0; i < mac_layers.size(); ++i) {
+        const Fig2Row r = analyzeLayer(mac_layers[i]);
+        total.fixed_max += r.fixed_max;
+        total.fixed_min += r.fixed_min;
+        total.theory += r.theory;
+        total.practice_min += r.practice_min;
+        total.practice_max += r.practice_max;
+        total.feather += r.feather;
+        for (int anchor : anchor_indices) {
+            if (int(i) + 1 == anchor) {
+                t.addRow({strCat("layer ", anchor),
+                          strCat(r.fixed_min, "..", r.fixed_max),
+                          std::to_string(r.theory),
+                          strCat(r.practice_min, "..", r.practice_max),
+                          std::to_string(r.feather),
+                          fmtRatio(double(r.practice_max) /
+                                   double(std::max<int64_t>(r.theory, 1)))});
+            }
+        }
+    }
+    t.addRow({"full model", strCat(total.fixed_min, "..", total.fixed_max),
+              std::to_string(total.theory),
+              strCat(total.practice_min, "..", total.practice_max),
+              std::to_string(total.feather),
+              fmtRatio(double(total.practice_max) /
+                       double(std::max<int64_t>(total.theory, 1)))});
+    std::printf("%s", t.toString().c_str());
+    std::printf("FEATHER vs theory: %.2fx (1.0x = gap fully closed)\n",
+                double(total.feather) / double(total.theory));
+}
+
+} // namespace
+
+int
+main()
+{
+    runModel("ResNet-50 (16x16 PE array)", resnet50(), {1, 14, 41});
+    runModel("MobileNet-V3-Large (16x16 PE array)", mobilenetV3Large(),
+             {7, 25, 40});
+    std::printf("\nExpected shape (paper): ignoring layout inflates the "
+                "theoretical best by up to\ntwo orders of magnitude on "
+                "single layers (2~128x) and 2-23x on full models;\n"
+                "FEATHER eliminates the gap by co-switching "
+                "(dataflow, layout).\n");
+    return 0;
+}

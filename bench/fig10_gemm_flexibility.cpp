@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fig. 10: per-layer flexible dataflows in FEATHER vs the fixed-dataflow
+ * weight-stationary systolic array, on four irregular GEMM workloads, plus
+ * the "change oAct layout" variant that retargets the same reduction to
+ * different StaB banks purely by reconfiguring BIRRD.
+ *
+ * Expected shape (paper): the SA's utilization collapses on skewed shapes
+ * (50% / 75% / 25%) while FEATHER's flexible reduction keeps near-full
+ * utilization, and the layout re-target costs zero extra cycles (same
+ * route count, different bank assignment).
+ */
+
+#include <cstdio>
+
+#include "baselines/arch_zoo.hpp"
+#include "baselines/systolic_array.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "feather/accelerator.hpp"
+#include "layoutloop/mapper.hpp"
+#include "tensor/reference_ops.hpp"
+
+using namespace feather;
+
+namespace {
+
+/**
+ * Run one GEMM on the 4x4 FEATHER cycle simulator and report utilization.
+ * The M (streaming) dimension is scaled up so the measurement reflects the
+ * steady state, as the paper's Fig. 10 utilizations do — the raw workloads
+ * are so small that warmup/fill would dominate any device.
+ */
+double
+featherCycleUtil(GemmShape g, const Layout &out_layout)
+{
+    g.m *= 32;
+    LayerSpec layer;
+    layer.type = OpType::Gemm;
+    layer.gemm = g;
+
+    Rng rng(7);
+    Int8Tensor a({g.m, g.k});
+    Int8Tensor b({g.k, g.n});
+    a.randomize(rng, -20, 20);
+    b.randomize(rng, -20, 20);
+
+    FeatherConfig cfg;
+    cfg.aw = 4;
+    cfg.ah = 4;
+    FeatherAccelerator acc(cfg);
+    acc.loadIacts(a, Layout::parse("MK_K4"));
+    LayerQuant quant;
+    quant.multiplier = 0.01f;
+    const NestMapping m = NestMapping::canonical(layer, 4, 4);
+    const LayerStats stats = acc.run(layer, b, m, out_layout, quant);
+
+    // Validate numerics while we are here.
+    const Int8Tensor got = acc.readActivations();
+    const Int8Tensor ref =
+        requantizeTensor(gemm(a, b, 0, 0), quant.multiplier, 0);
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        if (got[size_t(i)] != ref[size_t(i)]) {
+            std::fprintf(stderr, "numeric mismatch on %s\n",
+                         g.toString().c_str());
+            std::exit(1);
+        }
+    }
+    return stats.utilization(cfg.aw * cfg.ah);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 10: FEATHER vs 4x4 systolic array on irregular "
+                "GEMMs ===\n");
+
+    struct Work
+    {
+        const char *name;
+        GemmShape shape;
+    };
+    const Work works[] = {
+        {"A (M8 K8 N4)", {8, 4, 8}},
+        {"B (M6 K2 N8)", {6, 8, 2}},
+        {"C (M8 K12 N3)", {8, 3, 12}},
+        {"D (M4 K16 N1)", {4, 1, 16}},
+    };
+
+    const Mapper feather_mapper(featherArch(WorkloadKind::Gemm, 4, 4));
+    Table t({"workload", "SA util", "FEATHER util (analytic)",
+             "FEATHER util (cycle sim)"});
+    for (const Work &w : works) {
+        LayerSpec layer;
+        layer.type = OpType::Gemm;
+        layer.gemm = w.shape;
+        const double sa = saGemmUtilization(w.shape, 4, 4);
+        const EvalResult best = feather_mapper.searchLayer(layer);
+        const double sim = featherCycleUtil(w.shape, Layout::parse("MK_K4"));
+        t.addRow({w.name, fmtPercent(sa),
+                  fmtPercent(best.practical_utilization), fmtPercent(sim)});
+    }
+    std::printf("%s", t.toString().c_str());
+
+    // Workload A with a re-targeted oAct layout: the reduction pattern is
+    // identical, only the BIRRD destinations (StaB banks) change.
+    std::printf("\n--- Workload A: change oAct layout via RIR ---\n");
+    const double u1 = featherCycleUtil({8, 4, 8}, Layout::parse("MK_K4"));
+    const double u2 = featherCycleUtil({8, 4, 8}, Layout::parse("MK_M4"));
+    std::printf("oActs as MK_K4: util %s | oActs as MK_M4: util %s -> "
+                "identical cost, different banks (paper: zero-cost "
+                "re-target)\n",
+                fmtPercent(u1).c_str(), fmtPercent(u2).c_str());
+
+    std::printf("\nExpected shape: SA 100%%/50%%/75%%/25%% vs FEATHER "
+                "near-full on all four (paper Fig. 10).\n");
+    return 0;
+}

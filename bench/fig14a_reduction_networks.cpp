@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 14a: area and power of BIRRD vs SIGMA's FAN vs MAERI's ART at
+ * 16..256 reduction inputs (post-layout model, TSMC 28nm-class).
+ *
+ * Expected shape (paper §VI-D1): BIRRD costs ~1.43x FAN / ~2.21x ART area
+ * and ~1.17x / ~2.07x power — the price of 2*log2(N) stages — but a single
+ * AW-input BIRRD serves the whole 2D array where FAN/ART need an
+ * (AW*AH)-input instance, netting a 94% reduction-NoC saving in FEATHER.
+ */
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "common/table.hpp"
+
+using namespace feather;
+
+int
+main()
+{
+    std::printf("=== Fig. 14a: reduction network area/power vs inputs ===\n");
+    Table t({"inputs", "ART um2", "FAN um2", "BIRRD um2", "BIRRD/FAN",
+             "BIRRD/ART", "ART mW", "FAN mW", "BIRRD mW"});
+    for (int n : {16, 32, 64, 128, 256}) {
+        const AreaPower art = artAreaPower(n);
+        const AreaPower fan = fanAreaPower(n);
+        const AreaPower birrd = birrdAreaPower(n);
+        t.addRow({std::to_string(n), fmtDouble(art.area_um2, 0),
+                  fmtDouble(fan.area_um2, 0), fmtDouble(birrd.area_um2, 0),
+                  fmtRatio(birrd.area_um2 / fan.area_um2),
+                  fmtRatio(birrd.area_um2 / art.area_um2),
+                  fmtDouble(art.power_mw, 1), fmtDouble(fan.power_mw, 1),
+                  fmtDouble(birrd.power_mw, 1)});
+    }
+    std::printf("%s", t.toString().c_str());
+
+    std::printf(
+        "\nSystem-level consequence: one %d-input BIRRD serves a 16x16 NEST\n"
+        "(time-multiplexed rows); SIGMA's FAN must span all 256 PEs:\n",
+        16);
+    const double birrd16 = birrdAreaPower(16).area_um2;
+    const double fan256 = fanAreaPower(256).area_um2;
+    std::printf("  BIRRD-16 %.0f um2 vs FAN-256 %.0f um2 -> %.0f%% saving "
+                "(paper: 94%%)\n",
+                birrd16, fan256, 100.0 * (1.0 - birrd16 / fan256));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 14b: die-area breakdown of Eyeriss-like-256, SIGMA-256 and
+ * FEATHER-256.
+ *
+ * Expected shape (paper): FEATHER is 0.44x the SIGMA die (SIGMA = 2.93x,
+ * dominated by its Benes distribution + per-row FAN reduction), 1.06x the
+ * fixed-dataflow Eyeriss-like die, and BIRRD is only ~4% of the FEATHER
+ * die (3.3% of power).
+ */
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "common/table.hpp"
+
+using namespace feather;
+
+int
+main()
+{
+    std::printf("=== Fig. 14b: area breakdown (mm^2, 256 PEs) ===\n");
+    const DieBreakdown designs[] = {eyerissLike256Breakdown(),
+                                    sigma256Breakdown(),
+                                    feather256Breakdown()};
+
+    Table t({"component", designs[0].design, designs[1].design,
+             designs[2].design});
+    for (const auto &comp : designs[0].components) {
+        std::vector<std::string> row = {comp.name};
+        for (const auto &d : designs) {
+            double v = 0.0;
+            for (const auto &c : d.components) {
+                if (c.name == comp.name) v = c.area_mm2;
+            }
+            row.push_back(fmtDouble(v, 4));
+        }
+        t.addRow(row);
+    }
+    t.addRow({"TOTAL", fmtDouble(designs[0].totalMm2(), 3),
+              fmtDouble(designs[1].totalMm2(), 3),
+              fmtDouble(designs[2].totalMm2(), 3)});
+    std::printf("%s", t.toString().c_str());
+
+    const double feather = designs[2].totalMm2();
+    std::printf("\nFEATHER vs SIGMA:   %.2fx area (paper: 0.44x / SIGMA "
+                "2.43-2.93x larger)\n",
+                feather / designs[1].totalMm2());
+    std::printf("FEATHER vs Eyeriss: %.2fx area (paper: 1.06x)\n",
+                feather / designs[0].totalMm2());
+    std::printf("BIRRD share of FEATHER die: %.1f%% (paper: ~4%%)\n",
+                100.0 * designs[2].share("Redn. NoC"));
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Layoutloop driver: co-search (dataflow, layout) for a layer you describe
+ * on the command line and print the top choices by EDP, plus what the same
+ * layer costs on the fixed-dataflow baselines.
+ *
+ *   $ ./dataflow_search [C H W M R stride pad]
+ *   $ ./dataflow_search 256 14 14 256 3 1 1
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/arch_zoo.hpp"
+#include "common/table.hpp"
+#include "layoutloop/mapper.hpp"
+
+using namespace feather;
+
+int
+main(int argc, char **argv)
+{
+    LayerSpec layer;
+    layer.name = "cli_layer";
+    layer.type = OpType::Conv;
+    layer.conv = ConvShape{1, 256, 14, 14, 256, 3, 3, 1, 1, false};
+    if (argc == 8) {
+        layer.conv.c = std::atoll(argv[1]);
+        layer.conv.h = std::atoll(argv[2]);
+        layer.conv.w = std::atoll(argv[3]);
+        layer.conv.m = std::atoll(argv[4]);
+        layer.conv.r = layer.conv.s = std::atoll(argv[5]);
+        layer.conv.stride = std::atoll(argv[6]);
+        layer.conv.pad = std::atoll(argv[7]);
+    } else if (argc != 1) {
+        std::fprintf(stderr, "usage: %s [C H W M R stride pad]\n", argv[0]);
+        return 2;
+    }
+    std::printf("layer: %s\n\n", layer.conv.toString().c_str());
+
+    // FEATHER: full (dataflow, layout) co-search; show the per-layout best
+    // to expose the interaction the paper motivates.
+    const ArchSpec arch = featherArch(WorkloadKind::Conv);
+    const Mapper mapper(arch);
+    std::printf("FEATHER 16x16 (dataflow, layout) co-search, best per "
+                "layout:\n");
+    Table t({"layout", "mapping", "util", "slowdown", "cycles", "EDP rank"});
+    struct Entry
+    {
+        Layout layout;
+        EvalResult r;
+    };
+    std::vector<Entry> entries;
+    for (const Layout &layout : arch.layouts) {
+        ArchSpec one = arch;
+        one.layouts = {layout};
+        entries.push_back({layout, Mapper(one).searchLayer(layer)});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.r.edp() < b.r.edp();
+              });
+    int rank = 0;
+    for (const Entry &e : entries) {
+        ++rank;
+        t.addRow({e.layout.toString(), e.r.mapping.toString(),
+                  fmtPercent(e.r.practical_utilization),
+                  fmtDouble(e.r.slowdown, 2),
+                  std::to_string(e.r.total_cycles), std::to_string(rank)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+
+    // Baselines on the same layer.
+    Table b({"design", "util", "slowdown", "cycles", "vs FEATHER"});
+    const EvalResult best = mapper.searchLayer(layer);
+    for (const ArchSpec &a :
+         {nvdlaLike(WorkloadKind::Conv), eyerissLike(WorkloadKind::Conv),
+          sigmaLikeFixed(WorkloadKind::Conv, "HWC_C32"),
+          featherArch(WorkloadKind::Conv)}) {
+        const EvalResult r = Mapper(a).searchLayer(layer);
+        b.addRow({a.name, fmtPercent(r.practical_utilization),
+                  fmtDouble(r.slowdown, 2), std::to_string(r.total_cycles),
+                  fmtRatio(double(r.total_cycles) /
+                           double(best.total_cycles))});
+    }
+    std::printf("%s", b.toString().c_str());
+    return 0;
+}

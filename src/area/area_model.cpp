@@ -1,0 +1,150 @@
+#include "area/area_model.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace feather {
+
+namespace {
+
+// One BIRRD reorder-reduction switch ("Egg"): 32b adder, two 2:1 muxes,
+// pipeline registers, 2b config — TSMC 28nm-class. Calibrated so the
+// 16-input BIRRD (64 switches) is ~4% of the 475.9K um^2 16x16 die and
+// 3.3% of its 323 mW power (Fig. 14b caption).
+constexpr double kBirrdSwitchAreaUm2 = 297.0;
+constexpr double kBirrdSwitchPowerMw = 0.167;
+
+// The paper reports BIRRD as ~1.43x FAN area / 1.17x power and ~2.21x ART
+// area / 2.07x power across scales (§VI-D1); FAN/ART nodes are fewer but
+// individually larger (multi-level forwarding muxes and long wires), which
+// nets out to proportional scaling in the 16..256 input range of Fig. 14a.
+constexpr double kFanAreaRatio = 1.43;
+constexpr double kFanPowerRatio = 1.17;
+constexpr double kArtAreaRatio = 2.21;
+constexpr double kArtPowerRatio = 2.07;
+
+// Tab. V empirical die model: area = a*Npe + b*Npe*AW (um^2); the AW term
+// captures the column buses, BIRRD slice and per-column StaB banks that
+// grow with array width. Fitted to the paper's seven published shapes
+// (relative-error least squares; max |error| ~10%).
+constexpr double kDieAreaPerPe = 1184.93;
+constexpr double kDieAreaPerPeAw = 48.94;
+constexpr double kDiePowerPerPe = 0.8189;
+constexpr double kDiePowerPerPeAw = 0.01932;
+
+} // namespace
+
+AreaPower
+birrdAreaPower(int num_inputs)
+{
+    FEATHER_CHECK(isPow2(uint64_t(num_inputs)) && num_inputs >= 4,
+                  "BIRRD size must be a power of two >= 4");
+    const double n = double(num_inputs);
+    const double logn = std::log2(n);
+    const int stages = num_inputs == 4 ? 3 : int(2 * logn);
+    const double switches = double(stages) * n / 2.0;
+    return {kBirrdSwitchAreaUm2 * switches, kBirrdSwitchPowerMw * switches};
+}
+
+AreaPower
+fanAreaPower(int num_inputs)
+{
+    const AreaPower b = birrdAreaPower(num_inputs);
+    return {b.area_um2 / kFanAreaRatio, b.power_mw / kFanPowerRatio};
+}
+
+AreaPower
+artAreaPower(int num_inputs)
+{
+    const AreaPower b = birrdAreaPower(num_inputs);
+    return {b.area_um2 / kArtAreaRatio, b.power_mw / kArtPowerRatio};
+}
+
+AreaPower
+featherDieModel(int aw, int ah)
+{
+    const double npe = double(aw) * double(ah);
+    return {
+        kDieAreaPerPe * npe + kDieAreaPerPeAw * npe * double(aw),
+        kDiePowerPerPe * npe + kDiePowerPerPeAw * npe * double(aw),
+    };
+}
+
+std::vector<TableVRow>
+tableVPaperRows()
+{
+    return {
+        {64, 128, 36920519.69, 26400.00, 1.0},
+        {64, 64, 18389176.19, 13200.00, 1.0},
+        {32, 32, 2727906.70, 961.70, 1.0},
+        {16, 32, 965665.10, 655.55, 1.0},
+        {16, 16, 475897.19, 323.48, 1.0},
+        {8, 8, 97976.46, 65.25, 1.0},
+        {4, 4, 24693.98, 16.28, 1.0},
+    };
+}
+
+double
+DieBreakdown::totalMm2() const
+{
+    double total = 0.0;
+    for (const auto &c : components) total += c.area_mm2;
+    return total;
+}
+
+double
+DieBreakdown::share(const std::string &component) const
+{
+    for (const auto &c : components) {
+        if (c.name == component) return c.area_mm2 / totalMm2();
+    }
+    return 0.0;
+}
+
+DieBreakdown
+eyerissLike256Breakdown()
+{
+    // Fixed-dataflow Eyeriss-like 256-PE design: no reconfigurable NoCs,
+    // modest controller; FEATHER totals 1.06x of this die.
+    return {"Eyeriss-like-256",
+            {{"MAC", 0.110},
+             {"local mem", 0.120},
+             {"Comp. NoC", 0.049},
+             {"Dist. NoC", 0.010},
+             {"Redn. NoC", 0.010},
+             {"Controller", 0.020}}};
+}
+
+DieBreakdown
+sigma256Breakdown()
+{
+    // SIGMA-256: Benes distribution + per-row FAN reduction dominate
+    // (2.93x the FEATHER die, §VI-D2); BIRRD replaces the FAN instances
+    // with a single shared network (94% reduction-NoC saving).
+    return {"SIGMA-256",
+            {{"MAC", 0.110},
+             {"local mem", 0.060},
+             {"Comp. NoC", 0.020},
+             {"Dist. NoC", 0.535},
+             {"Redn. NoC", 0.225},
+             {"Controller", 0.040}}};
+}
+
+DieBreakdown
+feather256Breakdown()
+{
+    // FEATHER-256: large PE-local memory (rows buffer data while sharing
+    // the output buses) but a single small BIRRD (4% of die) and
+    // point-to-point distribution.
+    return {"FEATHER-256",
+            {{"MAC", 0.110},
+             {"local mem", 0.150},
+             {"Comp. NoC", 0.020},
+             {"Dist. NoC", 0.0145},
+             {"Redn. NoC", 0.0135},
+             {"Controller", 0.030}}};
+}
+
+} // namespace feather

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Analytical area / power models for the resource evaluation (§VI-D/E):
+ *
+ *  - reduction networks (Fig. 14a): BIRRD vs SIGMA's FAN vs MAERI's ART at
+ *    16..256 reduction inputs, TSMC 28nm-class constants calibrated so a
+ *    16-input BIRRD is ~4% of the 16x16 FEATHER die and the BIRRD:FAN:ART
+ *    area ratios match the paper's 1.43x / 2.21x (power 1.17x / 2.07x);
+ *  - die breakdown (Fig. 14b): component areas of Eyeriss-like-256,
+ *    SIGMA-256 and FEATHER-256 calibrated to the paper's totals (SIGMA =
+ *    2.93x FEATHER, FEATHER = 1.06x Eyeriss-like, BIRRD = 4% of die);
+ *  - full-chip scaling (Tab. V): post-PnR area/power at seven shapes,
+ *    reproduced by an empirical per-PE model fitted to the paper's own
+ *    table (area = a*Npe + b*Npe*AW; within ~10% at every published
+ *    shape).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace feather {
+
+/** Area (um^2) and power (mW) of one block. */
+struct AreaPower
+{
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/** BIRRD: 2*log2(n) stages of n/2 reorder-reduction switches. */
+AreaPower birrdAreaPower(int num_inputs);
+
+/** SIGMA's FAN (forwarding adder network) at @p num_inputs. */
+AreaPower fanAreaPower(int num_inputs);
+
+/** MAERI's ART (augmented reduction tree) at @p num_inputs. */
+AreaPower artAreaPower(int num_inputs);
+
+/** Tab. V model: whole FEATHER instance at AW x AH. */
+AreaPower featherDieModel(int aw, int ah);
+
+/** One row of the paper's post-PnR Tab. V. */
+struct TableVRow
+{
+    int aw;
+    int ah;
+    double paper_area_um2;
+    double paper_power_mw;
+    double paper_freq_ghz;
+};
+
+/** The paper's published Tab. V rows, for side-by-side comparison. */
+std::vector<TableVRow> tableVPaperRows();
+
+/** One component of a Fig. 14b die breakdown. */
+struct DieComponent
+{
+    std::string name;
+    double area_mm2;
+};
+
+/** Fig. 14b breakdown of one design (components sum to the die total). */
+struct DieBreakdown
+{
+    std::string design;
+    std::vector<DieComponent> components;
+
+    double totalMm2() const;
+    double share(const std::string &component) const;
+};
+
+DieBreakdown eyerissLike256Breakdown();
+DieBreakdown sigma256Breakdown();
+DieBreakdown feather256Breakdown();
+
+} // namespace feather

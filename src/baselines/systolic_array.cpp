@@ -1,0 +1,112 @@
+#include "baselines/systolic_array.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace feather {
+
+namespace {
+
+/** Compact "H0W0C0:3" description of a coordinate set. */
+std::string
+describeCoords(const std::vector<Coord> &coords, bool is_gemm)
+{
+    if (coords.empty()) return "(padding)";
+    auto range = [&](Dim d) {
+        int64_t lo = coords.front()[d], hi = lo;
+        for (const Coord &c : coords) {
+            lo = std::min(lo, c[d]);
+            hi = std::max(hi, c[d]);
+        }
+        if (lo == hi) return strCat(dimName(d), lo);
+        return strCat(dimName(d), lo, ":", hi);
+    };
+    if (is_gemm) {
+        return strCat(range(Dim::M), range(Dim::K));
+    }
+    return strCat(range(Dim::H), range(Dim::W), range(Dim::C));
+}
+
+std::string
+describeLines(const std::vector<int64_t> &lines)
+{
+    std::string s;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(lines[i]);
+        if (i >= 5 && lines.size() > 7) {
+            s += strCat(",... (", lines.size(), " lines)");
+            break;
+        }
+    }
+    return s.empty() ? "-" : s;
+}
+
+} // namespace
+
+SaAnalysis
+analyzeSaMapping(const LayerSpec &layer, const Mapping &mapping,
+                 const BoundLayout &layout, const BufferSpec &buffer,
+                 int num_cycles)
+{
+    SaAnalysis out;
+    const Extents ext = layer.type == OpType::Gemm
+                            ? gemmExtents(layer.gemm)
+                            : convExtents(layer.conv);
+    out.theoretical_util = spatialOccupancy(mapping.spatial(), ext);
+
+    // Sample extra bases: fully-padded cycles (halo positions with no live
+    // taps) do not appear in the paper's tables, so only live access
+    // cycles count.
+    // Heavily padded stems (e.g. 7x7/2 with pad 3) need many temporal
+    // steps before the first live tap enters the window.
+    const auto bases = sampleTemporalBases(layer, mapping, 128 * num_cycles);
+    double slow_sum = 0.0;
+    double lines_sum = 0.0;
+    int64_t counted = 0;
+    for (const Coord &base : bases) {
+        if (counted >= num_cycles) break;
+        const auto coords =
+            concurrentIactCoords(layer, mapping.spatial(), base);
+        if (coords.empty()) continue;
+        SaCycleRow row;
+        row.cycle = counted;
+        row.iacts = describeCoords(coords, layer.type == OpType::Gemm);
+        const auto lines = linesTouched(layout, coords);
+        row.lines = describeLines(lines);
+        row.access_cycles =
+            conflictCycles(buffer, lines, buffer.read_ports);
+        row.theoretical_util = out.theoretical_util;
+        row.practical_util =
+            out.theoretical_util / double(row.access_cycles);
+        out.rows.push_back(row);
+        slow_sum += double(row.access_cycles);
+        lines_sum += double(lines.size());
+        ++counted;
+    }
+    if (counted > 0) {
+        out.avg_slowdown = slow_sum / double(counted);
+        out.lines_per_cycle = lines_sum / double(counted);
+    }
+    out.practical_util = out.theoretical_util / out.avg_slowdown;
+    return out;
+}
+
+double
+saGemmUtilization(const GemmShape &g, int rows, int cols)
+{
+    // Weight-stationary: K folds onto the rows, N onto the columns; the
+    // array is refilled ceil(K/rows) * ceil(N/cols) times and each fill
+    // streams all M rows. Utilization is the average occupancy of the
+    // stationary tiles.
+    const int64_t k_tiles = ceilDiv<int64_t>(g.k, rows);
+    const int64_t n_tiles = ceilDiv<int64_t>(g.n, cols);
+    const double k_occ = double(g.k) / double(k_tiles * rows);
+    const double n_occ = double(g.n) / double(n_tiles * cols);
+    return k_occ * n_occ;
+}
+
+} // namespace feather

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-dataflow weight-stationary systolic array analysis, used by the
+ * Fig. 4 walkthrough (memory efficiency / compute utilization of
+ * (workload, dataflow, layout) combinations on a 4x4 SA) and the Fig. 10
+ * comparison (SA vs FEATHER on irregular GEMMs).
+ */
+
+#include <string>
+#include <vector>
+
+#include "buffer/spec.hpp"
+#include "dataflow/access_pattern.hpp"
+#include "layout/layout.hpp"
+#include "workload/shapes.hpp"
+
+namespace feather {
+
+/** One row of a Fig. 4-style per-cycle table. */
+struct SaCycleRow
+{
+    int64_t cycle = 0;
+    std::string iacts;     ///< "H0W0C0:3"-style description
+    std::string lines;     ///< accessed line indices
+    int64_t access_cycles = 1; ///< >= 1; 2 means the paper's "0.5 slowdown"
+    double theoretical_util = 0.0;
+    double practical_util = 0.0;
+};
+
+/** Whole-table analysis result. */
+struct SaAnalysis
+{
+    std::vector<SaCycleRow> rows;
+    double avg_slowdown = 1.0;      ///< mean access cycles per cycle
+    double theoretical_util = 0.0;  ///< spatial occupancy
+    double practical_util = 0.0;    ///< occupancy / slowdown
+    double lines_per_cycle = 0.0;   ///< memory efficiency metric
+};
+
+/**
+ * Reproduce a Fig. 4 mapping table: walk the first @p num_cycles access
+ * cycles of (layer, mapping) under @p layout and record which iActs are
+ * required, which buffer lines they hit, and the resulting slowdown on a
+ * dual-port SA input buffer.
+ */
+SaAnalysis analyzeSaMapping(const LayerSpec &layer, const Mapping &mapping,
+                            const BoundLayout &layout,
+                            const BufferSpec &buffer, int num_cycles);
+
+/**
+ * Steady-state utilization of a rows x cols weight-stationary systolic
+ * array on a GEMM (weights K x N stationary, K along rows, N along
+ * columns, M streaming) — the SA side of Fig. 10.
+ */
+double saGemmUtilization(const GemmShape &g, int rows, int cols);
+
+} // namespace feather

@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Small bit-manipulation helpers used across the BIRRD topology (Alg. 1 of
+ * the paper), buffer address maps, and dataflow factorization.
+ */
+
+#include <cassert>
+#include <cstdint>
+
+namespace feather {
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr uint32_t
+log2Exact(uint64_t v)
+{
+    assert(isPow2(v));
+    uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceiling of log2 for any positive value. */
+constexpr uint32_t
+log2Ceil(uint64_t v)
+{
+    assert(v > 0);
+    uint32_t r = 0;
+    uint64_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Smallest power of two >= @p v. */
+constexpr uint64_t
+nextPow2(uint64_t v)
+{
+    return uint64_t{1} << log2Ceil(v == 0 ? 1 : v);
+}
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    assert(b > 0);
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/**
+ * Reverse the low @p bit_range bits of @p data, keeping higher bits intact.
+ *
+ * This is the `reverse_bits` helper of Algorithm 1 in the paper, which
+ * defines the inter-stage connectivity of BIRRD: stage i's output port j
+ * feeds stage (i+1)'s input port reverseBits(j, r) where r depends on the
+ * stage index.
+ */
+constexpr uint32_t
+reverseBits(uint32_t data, uint32_t bit_range)
+{
+    const uint32_t mask = (1u << bit_range) - 1;
+    uint32_t reversed = 0;
+    for (uint32_t i = 0; i < bit_range; ++i) {
+        if (data & (1u << i)) {
+            reversed |= 1u << (bit_range - 1 - i);
+        }
+    }
+    return (data & ~mask) | reversed;
+}
+
+} // namespace feather

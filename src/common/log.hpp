@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh: fatal() for
+ * user-caused misconfiguration, panic() for internal invariant violations.
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace feather {
+
+/** Print @p msg to stderr and exit(1). Use for user configuration errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print @p msg to stderr and abort(). Use for internal invariant bugs. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate a mixed argument list into a std::string via operator<<. */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace feather
+
+/** Assert-with-message that stays active in release builds. */
+#define FEATHER_CHECK(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::feather::panic(::feather::strCat(                               \
+                "CHECK failed: ", #cond, " at ", __FILE__, ":", __LINE__,     \
+                " ", __VA_ARGS__));                                           \
+        }                                                                     \
+    } while (0)

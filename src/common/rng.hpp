@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator (splitmix64 + xoshiro256**).
+ *
+ * All stochastic components (mapper random search, router randomized
+ * restarts, test-input generation) draw from this generator so every run of
+ * the simulator, tests, and benchmarks is reproducible from a seed.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace feather {
+
+/** xoshiro256** seeded through splitmix64; satisfies UniformRandomBitGenerator. */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x5EEDFEA7'42ull) { reseed(seed); }
+
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to spread the seed across the four lanes of state.
+        uint64_t x = seed;
+        for (auto &lane : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t
+    max()
+    {
+        return std::numeric_limits<uint64_t>::max();
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free Lemire reduction is overkill here; modulo bias is
+        // negligible for the bounds we use (<< 2^32).
+        return (*this)() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(uint64_t(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double((*this)() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace feather

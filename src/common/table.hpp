@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Console table / CSV emitter used by every benchmark binary so the harness
+ * prints the same row/series structure the paper's figures and tables report.
+ */
+
+#include <string>
+#include <vector>
+
+namespace feather {
+
+/** A simple column-aligned text table that can also be dumped as CSV. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns for console output. */
+    std::string toString() const;
+
+    /** Render as CSV (no quoting; cells must not contain commas). */
+    std::string toCsv() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p precision decimal digits. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Format a ratio like "2.65x". */
+std::string fmtRatio(double v, int precision = 2);
+
+/** Format a fraction as a percentage like "98.3%". */
+std::string fmtPercent(double v, int precision = 1);
+
+} // namespace feather

@@ -1,0 +1,668 @@
+#include "feather/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "dataflow/access_pattern.hpp"
+#include "common/log.hpp"
+
+namespace feather {
+
+std::string
+LayerStats::toString() const
+{
+    return strCat("cycles=", cycles, " (compute=", compute_cycles,
+                  " wload=", weight_load_cycles, " fill=", fill_cycles,
+                  " rstall=", read_stall_cycles, " wstall=",
+                  write_stall_cycles, ") macs=", macs,
+                  " stab r/w=", stab_reads, "/", stab_writes,
+                  " ob=", ob_accumulates, " dram=", dram_words);
+}
+
+namespace {
+
+/** Mixed-radix decode of a flat index over parallel dims (dims[0] outer). */
+Coord
+decodeSpatial(const std::vector<ParallelDim> &dims, int64_t flat)
+{
+    Coord idx;
+    for (size_t i = dims.size(); i-- > 0;) {
+        idx[dims[i].dim] = flat % dims[i].degree;
+        flat /= dims[i].degree;
+    }
+    return idx;
+}
+
+/** Dims reduced by the layer (their outputs accumulate). */
+bool
+isReducedDim(const LayerSpec &layer, Dim d)
+{
+    if (layer.type == OpType::Gemm) return d == Dim::K;
+    if (layer.conv.depthwise) return d == Dim::R || d == Dim::S;
+    return d == Dim::C || d == Dim::R || d == Dim::S;
+}
+
+/** Translate an oAct coordinate into next-layer iAct space for layout
+ *  addressing: conv (M,P,Q) -> (C,H,W); GEMM (M,N) -> (M,K). */
+Coord
+oactToIactSpace(const LayerSpec &layer, const Coord &o)
+{
+    Coord c;
+    if (layer.type == OpType::Gemm) {
+        c[Dim::M] = o[Dim::M];
+        c[Dim::K] = o[Dim::N];
+    } else {
+        c[Dim::C] = layer.conv.depthwise ? o[Dim::C] : o[Dim::M];
+        c[Dim::H] = o[Dim::P];
+        c[Dim::W] = o[Dim::Q];
+    }
+    return c;
+}
+
+/** Extents of the oAct tensor in iAct space (for binding the out layout). */
+Extents
+oactIactExtents(const LayerSpec &layer)
+{
+    Extents e;
+    if (layer.type == OpType::Gemm) {
+        e[Dim::M] = layer.gemm.m;
+        e[Dim::K] = layer.gemm.n;
+    } else {
+        e[Dim::C] = layer.conv.depthwise ? layer.conv.c : layer.conv.m;
+        e[Dim::H] = layer.conv.outH();
+        e[Dim::W] = layer.conv.outW();
+    }
+    return e;
+}
+
+} // namespace
+
+FeatherAccelerator::FeatherAccelerator(FeatherConfig cfg)
+    : cfg_(cfg), nest_(cfg.aw, cfg.ah, cfg.max_local), birrd_(cfg.aw),
+      router_(birrd_.topology()),
+      stab_(BankedScratchpad<int8_t>(cfg.aw, cfg.stab_depth),
+            BankedScratchpad<int8_t>(cfg.aw, cfg.stab_depth))
+{
+    FEATHER_CHECK(isPow2(uint64_t(cfg.aw)), "AW must be a power of two");
+}
+
+void
+FeatherAccelerator::enableTrace(size_t max_events)
+{
+    trace_cap_ = max_events;
+    trace_.clear();
+    trace_.reserve(max_events);
+}
+
+void
+FeatherAccelerator::recordTrace(TraceEvent::Kind kind, int64_t step,
+                                int64_t bank, int64_t addr)
+{
+    if (trace_.size() < trace_cap_) {
+        trace_.push_back(TraceEvent{kind, step, bank, addr});
+    }
+}
+
+void
+FeatherAccelerator::loadIacts(const Int8Tensor &iacts, const Layout &layout)
+{
+    Extents ext;
+    const bool is_gemm = iacts.rank() == 2;
+    if (is_gemm) {
+        ext[Dim::M] = iacts.dim(0);
+        ext[Dim::K] = iacts.dim(1);
+    } else {
+        FEATHER_CHECK(iacts.rank() == 4 && iacts.dim(0) == 1,
+                      "conv iacts must be [1,C,H,W]");
+        ext[Dim::C] = iacts.dim(1);
+        ext[Dim::H] = iacts.dim(2);
+        ext[Dim::W] = iacts.dim(3);
+    }
+    current_layout_ = BoundLayout(layout, ext);
+
+    const int64_t wpl = ceilDiv(current_layout_.lineSize(), int64_t(cfg_.aw));
+    FEATHER_CHECK(current_layout_.numLines() * wpl <= cfg_.stab_depth,
+                  "iacts exceed StaB capacity");
+    for (int64_t line = 0; line < current_layout_.numLines(); ++line) {
+        for (int64_t slot = 0; slot < current_layout_.lineSize(); ++slot) {
+            const Coord c = current_layout_.coordAt({line, slot});
+            int8_t v = 0;
+            if (is_gemm) {
+                if (c[Dim::M] < ext[Dim::M] && c[Dim::K] < ext[Dim::K]) {
+                    v = iacts.at2(c[Dim::M], c[Dim::K]);
+                }
+            } else {
+                if (c[Dim::C] < ext[Dim::C] && c[Dim::H] < ext[Dim::H] &&
+                    c[Dim::W] < ext[Dim::W]) {
+                    v = iacts.at4(0, c[Dim::C], c[Dim::H], c[Dim::W]);
+                }
+            }
+            stab_.ping().write(slot % cfg_.aw, line * wpl + slot / cfg_.aw,
+                               v);
+        }
+    }
+    iacts_loaded_ = true;
+}
+
+LayerStats
+FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
+                        const NestMapping &mapping, const Layout &out_layout,
+                        const LayerQuant &quant)
+{
+    FEATHER_CHECK(iacts_loaded_, "loadIacts() must precede run()");
+    const std::string err = mapping.validate(layer, cfg_.aw, cfg_.ah);
+    FEATHER_CHECK(err.empty(), "invalid mapping: ", err);
+    for (const auto &pd : mapping.local) {
+        FEATHER_CHECK(isReducedDim(layer, pd.dim),
+                      "local dims must be reduction dims, got ",
+                      dimName(pd.dim));
+    }
+    FEATHER_CHECK(mapping.t1() <= cfg_.max_local,
+                  "local tile exceeds PE register file");
+
+    const bool is_gemm = layer.type == OpType::Gemm;
+    if (!is_gemm) {
+        FEATHER_CHECK(layer.conv.n == 1,
+                      "the cycle simulator executes batch-1 conv layers");
+    }
+    const Extents ext = is_gemm ? gemmExtents(layer.gemm)
+                                : convExtents(layer.conv);
+    const ConvShape &cs = layer.conv;
+
+    // Iterated dims in temporal order (outer -> inner): weight-affecting
+    // dims outermost so weights stay stationary across the inner output
+    // sweep; reduction tiles between them so OB entries complete before the
+    // next weight tile arrives.
+    std::vector<Dim> dims_order;
+    if (is_gemm) {
+        dims_order = {Dim::N, Dim::K, Dim::M};
+    } else if (cs.depthwise) {
+        dims_order = {Dim::C, Dim::R, Dim::S, Dim::P, Dim::Q};
+    } else {
+        dims_order = {Dim::M, Dim::C, Dim::R, Dim::S, Dim::P, Dim::Q};
+    }
+    std::vector<Dim> weight_dims;
+    if (is_gemm) {
+        weight_dims = {Dim::N, Dim::K};
+    } else if (cs.depthwise) {
+        weight_dims = {Dim::C, Dim::R, Dim::S};
+    } else {
+        weight_dims = {Dim::M, Dim::C, Dim::R, Dim::S};
+    }
+
+    // Per-dim unroll factors and temporal step counts.
+    DimMap unroll;
+    for (int i = 0; i < kNumDims; ++i) unroll[Dim(i)] = 1;
+    for (const auto &pd : mapping.local) unroll[pd.dim] *= pd.degree;
+    for (const auto &pd : mapping.cols) unroll[pd.dim] *= pd.degree;
+    for (const auto &pd : mapping.rows) unroll[pd.dim] *= pd.degree;
+
+    std::vector<LoopLevel> levels;
+    int64_t reduction_step_combos = 1;
+    for (Dim d : dims_order) {
+        const int64_t steps = ceilDiv(std::max<int64_t>(ext[d], 1),
+                                      unroll[d]);
+        levels.push_back({d, steps});
+        if (isReducedDim(layer, d)) reduction_step_combos *= steps;
+    }
+    const LoopNest nest_loops(levels);
+
+    // Reduction dims unrolled across rows contribute once per row copy
+    // (in-situ OB temporal reduction, e.g. Fig. 10 workload D maps K over
+    // the whole 2D array).
+    int64_t reduced_row_copies = 1;
+    for (const auto &pd : mapping.rows) {
+        if (isReducedDim(layer, pd.dim)) reduced_row_copies *= pd.degree;
+    }
+    const int64_t expected_contribs =
+        reduction_step_combos * reduced_row_copies;
+
+    // Local-dim strides within the unroll: coord = step*U + l + L*col +
+    // L*C*row for each dim.
+    DimMap local_deg, col_deg, row_deg;
+    for (int i = 0; i < kNumDims; ++i) {
+        local_deg[Dim(i)] = 1;
+        col_deg[Dim(i)] = 1;
+        row_deg[Dim(i)] = 1;
+    }
+    for (const auto &pd : mapping.local) local_deg[pd.dim] = pd.degree;
+    for (const auto &pd : mapping.cols) col_deg[pd.dim] = pd.degree;
+    for (const auto &pd : mapping.rows) row_deg[pd.dim] = pd.degree;
+
+    const int64_t t1 = mapping.t1();
+    const int64_t cols_used = mapping.colsUsed();
+    const int64_t rows_used = mapping.rowsUsed();
+
+    // Column assignments and reduction-group structure: columns sharing all
+    // non-reduced col indices reduce together through BIRRD.
+    std::vector<ParallelDim> group_dims; // non-reduced col dims
+    for (const auto &pd : mapping.cols) {
+        if (!isReducedDim(layer, pd.dim)) group_dims.push_back(pd);
+    }
+    const int64_t num_groups = totalDegree(group_dims);
+    std::vector<ColAssign> col_assign(static_cast<size_t>(cols_used));
+    for (int64_t c = 0; c < cols_used; ++c) {
+        col_assign[size_t(c)].idx = decodeSpatial(mapping.cols, c);
+        int64_t g = 0;
+        for (const auto &pd : group_dims) {
+            g = g * pd.degree + col_assign[size_t(c)].idx[pd.dim];
+        }
+        col_assign[size_t(c)].group = int(g);
+    }
+    std::vector<Coord> row_assign(static_cast<size_t>(rows_used));
+    for (int64_t r = 0; r < rows_used; ++r) {
+        row_assign[size_t(r)] = decodeSpatial(mapping.rows, r);
+    }
+    std::vector<Coord> local_assign(static_cast<size_t>(t1));
+    for (int64_t l = 0; l < t1; ++l) {
+        local_assign[size_t(l)] = decodeSpatial(mapping.local, l);
+    }
+
+    // Do iacts depend on the row index? (Shared top-to-bottom stream if
+    // not; otherwise the stream must deliver distinct vectors per row.)
+    bool rows_affect_iacts = false;
+    for (const auto &pd : mapping.rows) {
+        const bool affects =
+            is_gemm ? (pd.dim == Dim::M || pd.dim == Dim::K)
+                    : (pd.dim != Dim::M);
+        if (affects && pd.degree > 1) rows_affect_iacts = true;
+    }
+
+    // Output layout bound in next-layer iAct space.
+    const BoundLayout out_bound(out_layout, oactIactExtents(layer));
+    const int64_t out_wpl = ceilDiv(out_bound.lineSize(), int64_t(cfg_.aw));
+    FEATHER_CHECK(out_bound.numLines() * out_wpl <= cfg_.stab_depth,
+                  "oacts exceed StaB capacity");
+    const int64_t in_wpl =
+        ceilDiv(current_layout_.lineSize(), int64_t(cfg_.aw));
+
+    // Output Buffer: per-(bank,addr) accumulator with completion countdown.
+    struct ObEntry
+    {
+        int64_t acc = 0;
+        int64_t remaining = 0;
+    };
+    std::unordered_map<int64_t, ObEntry> ob;
+    auto ob_key = [&](int64_t bank, int64_t addr) {
+        return bank * cfg_.stab_depth + addr;
+    };
+
+    LayerStats stats;
+    const int64_t weight_load_cycles = int64_t(cfg_.ah) * t1;
+    int64_t compute_since_load = 0;
+    bool first_load = true;
+    DimMap prev_weight_step;
+    for (int i = 0; i < kNumDims; ++i) prev_weight_step[Dim(i)] = -1;
+
+    // Scratch buffers reused across emissions.
+    std::vector<std::vector<int16_t>> iact_vals(
+        size_t(cfg_.aw), std::vector<int16_t>(size_t(t1), 0));
+    std::vector<bool> col_active(size_t(cfg_.aw), false);
+    std::vector<int64_t> group_line(size_t(num_groups), -1);
+    std::vector<int64_t> group_bank(size_t(num_groups), -1);
+    std::vector<bool> group_live(size_t(num_groups), false);
+
+    Coord step;
+    int64_t step_index = 0;
+    bool more = true;
+    while (more) {
+        // Base coordinate of this temporal step.
+        Coord base;
+        for (Dim d : dims_order) base[d] = step[d] * unroll[d];
+
+        // ---- weight tile management (ping-pong shadow load) ----
+        bool weights_changed = false;
+        for (Dim d : weight_dims) {
+            if (step[d] != prev_weight_step[d]) weights_changed = true;
+        }
+        if (weights_changed) {
+            for (Dim d : weight_dims) prev_weight_step[d] = step[d];
+            for (int64_t r = 0; r < rows_used; ++r) {
+                for (int64_t c = 0; c < cols_used; ++c) {
+                    for (int64_t l = 0; l < t1; ++l) {
+                        auto coord_of = [&](Dim d) {
+                            return base[d] + local_assign[size_t(l)][d] +
+                                   local_deg[d] *
+                                       (col_assign[size_t(c)].idx[d] +
+                                        col_deg[d] *
+                                            row_assign[size_t(r)][d]);
+                        };
+                        int16_t w = 0;
+                        if (is_gemm) {
+                            const int64_t k = coord_of(Dim::K);
+                            const int64_t n = coord_of(Dim::N);
+                            if (k < ext[Dim::K] && n < ext[Dim::N]) {
+                                w = int16_t(int16_t(weights.at2(k, n)) -
+                                            quant.weight_zp);
+                                ++stats.strb_reads;
+                                ++stats.dram_words;
+                            }
+                        } else {
+                            const int64_t m = coord_of(Dim::M);
+                            const int64_t cc = coord_of(Dim::C);
+                            const int64_t rr = coord_of(Dim::R);
+                            const int64_t ss = coord_of(Dim::S);
+                            const int64_t m_ext =
+                                cs.depthwise ? 1 : ext[Dim::M];
+                            if (m < m_ext && cc < ext[Dim::C] &&
+                                rr < ext[Dim::R] && ss < ext[Dim::S]) {
+                                w = int16_t(
+                                    int16_t(cs.depthwise
+                                                ? weights.at4(cc, 0, rr, ss)
+                                                : weights.at4(m, cc, rr, ss)) -
+                                    quant.weight_zp);
+                                ++stats.strb_reads;
+                                ++stats.dram_words;
+                            }
+                        }
+                        nest_.loadWeight(int(r), int(c), int(l), w);
+                    }
+                }
+            }
+            nest_.swapWeightBanks();
+            ++stats.weight_reload_events;
+            const int64_t exposed =
+                first_load ? weight_load_cycles
+                           : std::max<int64_t>(0, weight_load_cycles -
+                                                      compute_since_load);
+            stats.weight_load_cycles += exposed;
+            compute_since_load = 0;
+            first_load = false;
+        }
+
+        // ---- per-step feed / bus / compute accounting + datapath ----
+        int64_t feed_cycles = 0;
+        int64_t bus_cycles = 0;
+        const int64_t row_variants = rows_affect_iacts ? rows_used : 1;
+        std::vector<int64_t> bank_reads(size_t(cfg_.aw), 0);
+
+        for (int64_t r = 0; r < rows_used; ++r) {
+            // ---- group destinations and column liveness ----
+            std::fill(col_active.begin(), col_active.end(), false);
+            std::fill(group_live.begin(), group_live.end(), false);
+            for (int64_t c = 0; c < cols_used; ++c) {
+                const int g = col_assign[size_t(c)].group;
+                auto coord_of = [&](Dim d) {
+                    return base[d] + local_assign[0][d] +
+                           local_deg[d] * (col_assign[size_t(c)].idx[d] +
+                                           col_deg[d] *
+                                               row_assign[size_t(r)][d]);
+                };
+                Coord oc;
+                bool live = true;
+                if (is_gemm) {
+                    oc[Dim::M] = coord_of(Dim::M);
+                    oc[Dim::N] = coord_of(Dim::N);
+                    live = oc[Dim::M] < ext[Dim::M] &&
+                           oc[Dim::N] < ext[Dim::N];
+                } else if (cs.depthwise) {
+                    oc[Dim::C] = coord_of(Dim::C);
+                    oc[Dim::P] = coord_of(Dim::P);
+                    oc[Dim::Q] = coord_of(Dim::Q);
+                    live = oc[Dim::C] < ext[Dim::C] &&
+                           oc[Dim::P] < ext[Dim::P] &&
+                           oc[Dim::Q] < ext[Dim::Q];
+                } else {
+                    oc[Dim::M] = coord_of(Dim::M);
+                    oc[Dim::P] = coord_of(Dim::P);
+                    oc[Dim::Q] = coord_of(Dim::Q);
+                    live = oc[Dim::M] < ext[Dim::M] &&
+                           oc[Dim::P] < ext[Dim::P] &&
+                           oc[Dim::Q] < ext[Dim::Q];
+                }
+                col_active[size_t(c)] = live;
+                if (!live) continue;
+                if (!group_live[size_t(g)]) {
+                    const LineAddr a =
+                        out_bound.addrOf(oactToIactSpace(layer, oc));
+                    group_live[size_t(g)] = true;
+                    group_bank[size_t(g)] = a.slot % cfg_.aw;
+                    group_line[size_t(g)] =
+                        a.line * out_wpl + a.slot / cfg_.aw;
+                }
+            }
+
+            // ---- gather iacts for the active columns of this row ----
+            // Columns requesting the same word in the same cycle share one
+            // bank access (the point-to-point distribution broadcasts it).
+            std::vector<int64_t> seen_key;
+            std::vector<int16_t> seen_val;
+            int64_t row_feed = 0;
+            for (int64_t l = 0; l < t1; ++l) {
+                std::fill(bank_reads.begin(), bank_reads.end(), 0);
+                seen_key.clear();
+                seen_val.clear();
+                for (int64_t c = 0; c < cols_used; ++c) {
+                    if (!col_active[size_t(c)]) continue;
+                    auto coord_of = [&](Dim d) {
+                        return base[d] + local_assign[size_t(l)][d] +
+                               local_deg[d] *
+                                   (col_assign[size_t(c)].idx[d] +
+                                    col_deg[d] * row_assign[size_t(r)][d]);
+                    };
+                    int16_t v = 0;
+                    bool do_read = false;
+                    Coord ic;
+                    if (is_gemm) {
+                        const int64_t m = coord_of(Dim::M);
+                        const int64_t k = coord_of(Dim::K);
+                        if (m < ext[Dim::M] && k < ext[Dim::K]) {
+                            ic[Dim::M] = m;
+                            ic[Dim::K] = k;
+                            do_read = true;
+                        }
+                    } else {
+                        const int64_t cc = coord_of(Dim::C);
+                        const int64_t p = coord_of(Dim::P);
+                        const int64_t q = coord_of(Dim::Q);
+                        const int64_t rr = coord_of(Dim::R);
+                        const int64_t ss = coord_of(Dim::S);
+                        const int64_t h = p * cs.stride + rr - cs.pad;
+                        const int64_t w = q * cs.stride + ss - cs.pad;
+                        if (cc < ext[Dim::C] && p < ext[Dim::P] &&
+                            q < ext[Dim::Q] && rr < ext[Dim::R] &&
+                            ss < ext[Dim::S] && h >= 0 && h < ext[Dim::H] &&
+                            w >= 0 && w < ext[Dim::W]) {
+                            ic[Dim::C] = cc;
+                            ic[Dim::H] = h;
+                            ic[Dim::W] = w;
+                            do_read = true;
+                        }
+                    }
+                    if (do_read) {
+                        const LineAddr a = current_layout_.addrOf(ic);
+                        const int64_t bank = a.slot % cfg_.aw;
+                        const int64_t addr =
+                            a.line * in_wpl + a.slot / cfg_.aw;
+                        const int64_t key = bank * cfg_.stab_depth + addr;
+                        bool shared = false;
+                        for (size_t s = 0; s < seen_key.size(); ++s) {
+                            if (seen_key[s] == key) {
+                                v = seen_val[s];
+                                shared = true;
+                                break;
+                            }
+                        }
+                        if (!shared) {
+                            v = int16_t(
+                                int16_t(stab_.ping().read(bank, addr)) -
+                                quant.iact_zp);
+                            seen_key.push_back(key);
+                            seen_val.push_back(v);
+                            ++stats.stab_reads;
+                            ++bank_reads[size_t(bank)];
+                            recordTrace(TraceEvent::Kind::StabRead,
+                                        step_index, bank, addr);
+                        }
+                    }
+                    iact_vals[size_t(c)][size_t(l)] = v;
+                }
+                // Feed cycles for this stream slot: dual-port banks.
+                int64_t worst = 1;
+                for (int64_t b = 0; b < cfg_.aw; ++b) {
+                    worst = std::max(worst, ceilDiv<int64_t>(
+                                                bank_reads[size_t(b)], 2));
+                }
+                row_feed += worst;
+            }
+            if (r < row_variants) feed_cycles += row_feed;
+
+            // ---- NEST emission ----
+            const auto emission =
+                nest_.computeRowEmission(int(r), iact_vals, col_active);
+            stats.macs += t1 * int64_t(std::count(col_active.begin(),
+                                                  col_active.end(), true));
+
+            // ---- wave-split groups so each StaB bank is hit once ----
+            std::vector<int> wave_of_group(size_t(num_groups), -1);
+            int num_waves = 0;
+            {
+                std::vector<std::vector<bool>> bank_used;
+                for (int64_t g = 0; g < num_groups; ++g) {
+                    if (!group_live[size_t(g)]) continue;
+                    int w = 0;
+                    while (w < num_waves &&
+                           bank_used[size_t(w)][size_t(group_bank[size_t(g)])]) {
+                        ++w;
+                    }
+                    if (w == num_waves) {
+                        bank_used.emplace_back(size_t(cfg_.aw), false);
+                        ++num_waves;
+                    }
+                    bank_used[size_t(w)][size_t(group_bank[size_t(g)])] = true;
+                    wave_of_group[size_t(g)] = w;
+                }
+            }
+            bus_cycles += std::max(num_waves, 1);
+
+            // ---- BIRRD reduction + reordering per wave ----
+            for (int w = 0; w < num_waves; ++w) {
+                RouteRequest req;
+                req.group_of_input.assign(size_t(cfg_.aw), -1);
+                std::vector<int> dense_id(size_t(num_groups), -1);
+                std::vector<int> dense_dest;
+                for (int64_t c = 0; c < cols_used; ++c) {
+                    if (!col_active[size_t(c)]) continue;
+                    const int g = col_assign[size_t(c)].group;
+                    if (wave_of_group[size_t(g)] != w) continue;
+                    if (dense_id[size_t(g)] < 0) {
+                        dense_id[size_t(g)] = int(dense_dest.size());
+                        dense_dest.push_back(int(group_bank[size_t(g)]));
+                    }
+                    req.group_of_input[size_t(c)] = dense_id[size_t(g)];
+                }
+                for (int d : dense_dest) req.dests_of_group.push_back({d});
+                if (dense_dest.empty()) continue;
+
+                const auto cfg_word = router_.route(req);
+                FEATHER_CHECK(cfg_word.has_value(),
+                              "BIRRD routing failed for a FEATHER pattern");
+                std::vector<PortValue> inputs(size_t(cfg_.aw));
+                for (int64_t c = 0; c < cols_used; ++c) {
+                    if (req.group_of_input[size_t(c)] >= 0) {
+                        inputs[size_t(c)] = emission[size_t(c)];
+                    }
+                }
+                const auto outputs = birrd_.evaluate(*cfg_word, inputs);
+                stats.birrd_switch_hops +=
+                    birrd_.activeSwitches(*cfg_word, inputs);
+
+                // ---- OB accumulation and completion ----
+                for (int64_t g = 0; g < num_groups; ++g) {
+                    if (!group_live[size_t(g)] ||
+                        wave_of_group[size_t(g)] != w) {
+                        continue;
+                    }
+                    const int64_t bank = group_bank[size_t(g)];
+                    const int64_t addr = group_line[size_t(g)];
+                    const PortValue &val = outputs[size_t(bank)];
+                    FEATHER_CHECK(val.has_value(),
+                                  "BIRRD delivered no value to bank ", bank);
+                    auto [it, inserted] =
+                        ob.try_emplace(ob_key(bank, addr));
+                    if (inserted) {
+                        it->second.remaining = expected_contribs;
+                        stats.peak_ob_entries = std::max(
+                            stats.peak_ob_entries, int64_t(ob.size()));
+                    }
+                    it->second.acc += *val;
+                    ++stats.ob_accumulates;
+                    if (--it->second.remaining == 0) {
+                        const int8_t q = requantize(int32_t(it->second.acc),
+                                                    quant.multiplier,
+                                                    quant.oact_zp);
+                        stab_.pong().write(bank, addr, q);
+                        ++stats.stab_writes;
+                        recordTrace(TraceEvent::Kind::StabWrite, step_index,
+                                    bank, addr);
+                        ob.erase(it);
+                    }
+                }
+            }
+        }
+
+        // Steady-state cycles for this step.
+        const int64_t step_cycles =
+            std::max({feed_cycles, bus_cycles, t1});
+        stats.compute_cycles += step_cycles;
+        stats.read_stall_cycles += std::max<int64_t>(0, feed_cycles - t1);
+        stats.write_stall_cycles +=
+            std::max<int64_t>(0, bus_cycles - rows_used);
+        compute_since_load += step_cycles;
+
+        ++step_index;
+        more = nest_loops.advance(step);
+    }
+
+    FEATHER_CHECK(ob.empty(), "OB has ", ob.size(),
+                  " incomplete accumulations at layer end");
+
+    // Pipeline fill: row stagger + BIRRD pipeline + OB/QM stages.
+    stats.weight_load_cycles_each = weight_load_cycles;
+    stats.fill_cycles = cfg_.ah + birrd_.latency() + 2;
+    stats.cycles = stats.compute_cycles + stats.weight_load_cycles +
+                   stats.fill_cycles;
+
+    // The written pong becomes the next layer's ping (inter-layer
+    // pipelining via the ping-pong StaB).
+    stab_.swap();
+    current_layout_ = out_bound;
+
+    return stats;
+}
+
+Int8Tensor
+FeatherAccelerator::readActivations() const
+{
+    const Extents &ext = current_layout_.extents();
+    const int64_t wpl = ceilDiv(current_layout_.lineSize(), int64_t(cfg_.aw));
+    const bool is_gemm = ext[Dim::K] > 0;
+
+    Int8Tensor out =
+        is_gemm ? Int8Tensor({ext[Dim::M], ext[Dim::K]})
+                : Int8Tensor({1, ext[Dim::C], ext[Dim::H], ext[Dim::W]});
+    for (int64_t line = 0; line < current_layout_.numLines(); ++line) {
+        for (int64_t slot = 0; slot < current_layout_.lineSize(); ++slot) {
+            const Coord c = current_layout_.coordAt({line, slot});
+            const int64_t bank = slot % cfg_.aw;
+            const int64_t addr = line * wpl + slot / cfg_.aw;
+            if (is_gemm) {
+                if (c[Dim::M] >= ext[Dim::M] || c[Dim::K] >= ext[Dim::K]) {
+                    continue;
+                }
+                out.at2(c[Dim::M], c[Dim::K]) =
+                    stab_.ping().peek(bank, addr);
+            } else {
+                if (c[Dim::C] >= ext[Dim::C] || c[Dim::H] >= ext[Dim::H] ||
+                    c[Dim::W] >= ext[Dim::W]) {
+                    continue;
+                }
+                out.at4(0, c[Dim::C], c[Dim::H], c[Dim::W]) =
+                    stab_.ping().peek(bank, addr);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace feather

@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * FEATHER accelerator: the full compute pipeline of Fig. 7/8 —
+ *
+ *   StaB (ping) -> NEST -> BIRRD (reorder-in-reduction) -> OB -> QM
+ *        -> StaB (pong, *new layout*)
+ *
+ * The simulator is cycle-accounting and bit-exact: every partial sum flows
+ * through the NEST local reduction, the routed BIRRD network, the Output
+ * Buffer's in-situ temporal accumulation, and the FBGEMM-style Quantize
+ * Module; results land in per-bank StaB addresses dictated by the *next
+ * layer's* layout (RIR, §IV). Numerics are validated against
+ * tensor/reference_ops in the test suite.
+ *
+ * Timing model (per temporal step, steady state):
+ *   cycles = max(feed, bus, t1)
+ *     feed = iact delivery cycles including StaB bank conflicts
+ *            (concordant layouts give feed == t1)
+ *     bus  = one emission per row, plus serialization when two reduction
+ *            groups target the same StaB bank (§IV-B write-port matching)
+ *     t1   = Phase-1 local reduction length
+ * plus the AH^2 weight preload for the first tile (later tiles load into
+ * the shadow ping-pong registers, exposed only if longer than compute) and
+ * a one-off pipeline fill of AH + BIRRD latency.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/scratchpad.hpp"
+#include "feather/config.hpp"
+#include "layout/layout.hpp"
+#include "nest/nest_array.hpp"
+#include "nest/nest_mapping.hpp"
+#include "noc/router.hpp"
+#include "tensor/tensor.hpp"
+#include "workload/shapes.hpp"
+
+namespace feather {
+
+/** One entry of the Fig. 11-style read/write trace. */
+struct TraceEvent
+{
+    enum class Kind : uint8_t { StabRead, StabWrite } kind;
+    int64_t step;  ///< temporal step index
+    int64_t bank;
+    int64_t addr;  ///< line within the bank
+};
+
+/** The FEATHER accelerator instance. */
+class FeatherAccelerator
+{
+  public:
+    explicit FeatherAccelerator(FeatherConfig cfg);
+
+    const FeatherConfig &config() const { return cfg_; }
+
+    /**
+     * Load a conv iAct tensor [1,C,H,W] (or GEMM input [M,K]) into StaB
+     * ping under @p layout, as the host/DMA would before the first layer.
+     */
+    void loadIacts(const Int8Tensor &iacts, const Layout &layout);
+
+    /**
+     * Execute one layer.
+     *
+     * @param layer      conv / depthwise-conv / GEMM shape
+     * @param weights    conv [M,C,R,S] (or [C,1,R,S] depthwise), GEMM [K,N]
+     * @param mapping    NEST work assignment
+     * @param out_layout layout the oActs materialise in (the next layer's
+     *                   concordant layout — this is the RIR switch)
+     * @param quant      zero points and QM multiplier
+     *
+     * Reads iActs from StaB ping, writes quantized oActs to StaB pong,
+     * then swaps ping/pong so the next run() consumes them.
+     */
+    LayerStats run(const LayerSpec &layer, const Int8Tensor &weights,
+                   const NestMapping &mapping, const Layout &out_layout,
+                   const LayerQuant &quant);
+
+    /**
+     * Read the current StaB ping contents back as a tensor (the oActs of
+     * the last run() / the iActs of the next). Conv shape [1,M,P,Q]; GEMM
+     * [M,N].
+     */
+    Int8Tensor readActivations() const;
+
+    /** Layout currently bound to StaB ping. */
+    const BoundLayout &currentLayout() const { return current_layout_; }
+
+    /** Router statistics (config generation / instruction buffer). */
+    const RouterStats &routerStats() const { return router_.stats(); }
+
+    /** Enable capture of the first @p max_events StaB reads/writes. */
+    void enableTrace(size_t max_events);
+    const std::vector<TraceEvent> &trace() const { return trace_; }
+
+  private:
+    struct ColAssign
+    {
+        /** Per-dim spatial index of this column (by Dim). */
+        Coord idx;
+        /** Reduction-group id of this column (-1 if none assigned). */
+        int group = -1;
+    };
+
+    void recordTrace(TraceEvent::Kind kind, int64_t step, int64_t bank,
+                     int64_t addr);
+
+    FeatherConfig cfg_;
+    NestArray nest_;
+    BirrdNetwork birrd_;
+    BirrdRouter router_;
+    PingPong<BankedScratchpad<int8_t>> stab_;
+    BoundLayout current_layout_;
+    bool iacts_loaded_ = false;
+
+    std::vector<TraceEvent> trace_;
+    size_t trace_cap_ = 0;
+};
+
+} // namespace feather

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-size map keyed by Dim, used for coordinates and extents.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "workload/dims.hpp"
+
+namespace feather {
+
+/** Dense map Dim -> int64_t with value-semantics; defaults to zero. */
+class DimMap
+{
+  public:
+    DimMap() { vals_.fill(0); }
+
+    int64_t &operator[](Dim d) { return vals_[size_t(d)]; }
+    int64_t operator[](Dim d) const { return vals_[size_t(d)]; }
+
+    bool
+    operator==(const DimMap &o) const
+    {
+        return vals_ == o.vals_;
+    }
+
+  private:
+    std::array<int64_t, kNumDims> vals_;
+};
+
+/** Coordinates of one tensor element (unused dims stay 0). */
+using Coord = DimMap;
+
+/** Extents of a tensor's dimensions (unused dims stay 0). */
+using Extents = DimMap;
+
+} // namespace feather

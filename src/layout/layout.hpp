@@ -1,0 +1,139 @@
+#pragma once
+
+/**
+ * @file
+ * On-chip data layout descriptor, following the paper's terminology
+ * (§II-B, Fig. 3):
+ *
+ *   "(inter-line dimension order)_(intra-line dimension order with sizes)"
+ *
+ * Example `CHW_W4H2C2`: lines are ordered by C (outermost), then H, then W
+ * across the buffer; within a line, (4,2,2) elements of (W,H,C) are
+ * flattened in the order W (outermost) -> H -> C (innermost slot).
+ *
+ * A Layout is an abstract pattern; binding it to a tensor's Extents yields a
+ * BoundLayout that maps element coordinates to (line, slot) addresses in a
+ * logical 2D buffer.
+ */
+
+#include <string>
+#include <vector>
+
+#include "layout/coords.hpp"
+#include "workload/dims.hpp"
+
+namespace feather {
+
+/** One intra-line factor: @ref size consecutive elements of @ref dim. */
+struct IntraFactor
+{
+    Dim dim;
+    int64_t size;
+
+    bool
+    operator==(const IntraFactor &o) const
+    {
+        return dim == o.dim && size == o.size;
+    }
+};
+
+/** Abstract layout pattern (not yet bound to tensor extents). */
+class Layout
+{
+  public:
+    Layout() = default;
+
+    /**
+     * @param inter_order inter-line dimension order, outermost first
+     * @param intra       intra-line factors, outermost first
+     */
+    Layout(std::vector<Dim> inter_order, std::vector<IntraFactor> intra);
+
+    /** Parse a layout string like "HWC_C4W8" or "HCW_W8". */
+    static Layout parse(const std::string &text);
+
+    const std::vector<Dim> &interOrder() const { return inter_order_; }
+    const std::vector<IntraFactor> &intraFactors() const { return intra_; }
+
+    /** Intra-line tile size of @p d (1 if d is not an intra factor). */
+    int64_t intraSize(Dim d) const;
+
+    /** Number of data words per line (product of intra factor sizes). */
+    int64_t lineSize() const;
+
+    /** Render back to the paper's string form. */
+    std::string toString() const;
+
+    bool
+    operator==(const Layout &o) const
+    {
+        return inter_order_ == o.inter_order_ && intra_ == o.intra_;
+    }
+
+  private:
+    std::vector<Dim> inter_order_; ///< outermost first
+    std::vector<IntraFactor> intra_; ///< outermost first
+};
+
+/** Physical address of an element inside a logical 2D buffer. */
+struct LineAddr
+{
+    int64_t line = 0; ///< buffer row index
+    int64_t slot = 0; ///< word offset within the row
+
+    bool
+    operator==(const LineAddr &o) const
+    {
+        return line == o.line && slot == o.slot;
+    }
+    bool
+    operator<(const LineAddr &o) const
+    {
+        return line != o.line ? line < o.line : slot < o.slot;
+    }
+};
+
+/**
+ * A Layout bound to concrete tensor extents: provides the coordinate ->
+ * (line, slot) address map and its inverse.
+ */
+class BoundLayout
+{
+  public:
+    BoundLayout() = default;
+    BoundLayout(Layout layout, Extents extents);
+
+    const Layout &layout() const { return layout_; }
+    const Extents &extents() const { return extents_; }
+
+    int64_t lineSize() const { return layout_.lineSize(); }
+    int64_t numLines() const { return num_lines_; }
+
+    /** Address of the element at @p c. */
+    LineAddr addrOf(const Coord &c) const;
+
+    /** Inverse map: coordinates stored at (line, slot). */
+    Coord coordAt(const LineAddr &addr) const;
+
+    /** Total elements (product of bound extents). */
+    int64_t numElems() const;
+
+    std::string toString() const;
+
+  private:
+    Layout layout_;
+    Extents extents_;
+    /** Tile count per inter dim (ceil(extent / intra size)). */
+    std::vector<int64_t> tiles_per_dim_; ///< parallel to interOrder()
+    int64_t num_lines_ = 0;
+};
+
+/**
+ * The convolution iAct layout space the paper searches (§VI-A2 footnote 4).
+ */
+std::vector<Layout> convLayoutSpace();
+
+/** The GEMM input layout space (MK_K32, MK_M32, MK_M4K8). */
+std::vector<Layout> gemmLayoutSpace();
+
+} // namespace feather

@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * Architecture specification for the Layoutloop analytical model (§V).
+ *
+ * Layoutloop extends Timeloop-style dataflow evaluation with *physical*
+ * storage modeling: the iAct buffer is a (num_lines x line_size) logical 2D
+ * array with `lines_per_bank` ("conflict_depth") lines per physical bank
+ * and a fixed port count; a (dataflow, layout) pair that concurrently
+ * touches more lines per bank than ports incurs a max(NL/NP, 1) slowdown.
+ *
+ * Each evaluated design point (Tab. IV) is an ArchSpec: PE array shape,
+ * dataflow flexibility (which TOPS axes the mapper may exercise), the
+ * layout policy (fixed layouts vs searchable), and the on-chip reorder
+ * capability (Fig. 5 patterns + implementation, Fig. 6).
+ */
+
+#include <string>
+#include <vector>
+
+#include "buffer/spec.hpp"
+#include "dataflow/mapping.hpp"
+#include "layout/layout.hpp"
+#include "workload/dims.hpp"
+
+namespace feather {
+
+/** On-chip data reordering capability (Fig. 5 / Tab. III). */
+enum class ReorderCapability : uint8_t {
+    None,                ///< fixed layout; conflicts stand
+    OffChip,             ///< DRAM round trip per layer (SIGMA-style)
+    LineRotation,        ///< Medusa: one extra effective port per bank
+    Transpose,           ///< MTIA MLU: column accesses become row accesses
+    TransposeRowReorder, ///< TPUv4: + intra-line permute (no conflict gain)
+    Rir,                 ///< FEATHER: arbitrary reorder during reduction
+};
+
+std::string toString(ReorderCapability c);
+
+/** Which mapping axes the design exposes (the T,O,P,S of §II-A). */
+struct DataflowFlexibility
+{
+    bool tiling = true;       ///< T: tile sizes (all designs have this)
+    bool ordering = false;    ///< O: loop order
+    bool parallelism = false; ///< P: choice of parallel dims/degrees
+    bool shape = false;       ///< S: virtual array regrouping
+
+    /** Fixed spatial unrolling used when parallelism == false. */
+    std::vector<ParallelDim> fixed_spatial;
+};
+
+/** One design point. */
+struct ArchSpec
+{
+    std::string name;
+    int pe_rows = 16;
+    int pe_cols = 16;
+    double freq_ghz = 1.0;
+
+    /** iAct scratchpad organization (the conflict model's subject). */
+    BufferSpec iact_buffer;
+
+    DataflowFlexibility flex;
+    ReorderCapability reorder = ReorderCapability::None;
+
+    /**
+     * Layouts available at runtime. Reorder == Rir / OffChip may pick a
+     * different entry per layer; other designs keep entry 0 for all layers
+     * (their on-chip mechanism only mitigates conflicts, it cannot convert
+     * between these word-granularity layouts — §VI-C3).
+     */
+    std::vector<Layout> layouts;
+
+    /** Off-chip bandwidth for OffChip reordering (bytes/cycle). */
+    double offchip_bytes_per_cycle = 128.0;
+
+    /**
+     * Rigid systolic array (Gemmini / DPU / Edge TPU / TPU classes):
+     * every stationary weight tile pays an array fill + drain bubble of
+     * (pe_rows + pe_cols) cycles, which FEATHER's time-multiplexed rows
+     * and ping-pong weight registers hide (Fig. 9).
+     */
+    bool systolic_fill_drain = false;
+
+    /**
+     * Reduction / distribution NoC traversal cost, in switch hops charged
+     * per word moved (energy model input). FEATHER: 2*log2(AW) BIRRD hops,
+     * point-to-point distribution; SIGMA: Benes distribution + FAN.
+     */
+    double noc_hops_per_word = 2.0;
+
+    int numPes() const { return pe_rows * pe_cols; }
+};
+
+} // namespace feather

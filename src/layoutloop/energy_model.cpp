@@ -1,0 +1,21 @@
+#include "layoutloop/energy_model.hpp"
+
+namespace feather {
+
+double
+totalEnergyPj(const EnergyTable &table, const AccessCounts &counts,
+              int64_t line_size)
+{
+    double pj = 0.0;
+    pj += table.mac_int8 * double(counts.macs);
+    pj += table.reg_access * double(counts.reg_accesses);
+    pj += table.sram_word * double(counts.buffer_word_reads +
+                                   counts.buffer_word_writes);
+    pj += table.sram_line_overhead * double(line_size) *
+          double(counts.buffer_line_reads);
+    pj += table.noc_hop * double(counts.noc_word_hops);
+    pj += table.dram_word * double(counts.dram_words);
+    return pj;
+}
+
+} // namespace feather

@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Energy model for Layoutloop, in picojoules per access.
+ *
+ * Constants are 28nm-class estimates in the spirit of Timeloop/Accelergy's
+ * tables (Horowitz ISSCC'14 scaled): an int8 MAC around 0.2 pJ, SRAM word
+ * accesses around 1 pJ growing with line width, register file accesses an
+ * order of magnitude below SRAM, DRAM two orders above. The paper's Fig. 13
+ * reports *normalized* pJ/MAC, so relative ordering (which these constants
+ * set) is what matters for reproduction; absolute values are documented
+ * here so a user can recalibrate against their own PDK.
+ */
+
+#include <cstdint>
+
+namespace feather {
+
+/** Per-access energies (pJ). */
+struct EnergyTable
+{
+    double mac_int8 = 0.2;        ///< one 8b x 8b MAC incl. 32b accumulate
+    double reg_access = 0.03;     ///< PE-local register read/write
+    double sram_word = 0.9;       ///< one word in/out of an on-chip buffer
+    double sram_line_overhead = 0.08; ///< per-word wordline/precharge share
+    double noc_hop = 0.05;        ///< one 32b word through one 2x2 switch
+    double dram_word = 45.0;      ///< one byte-word of DRAM traffic
+};
+
+/** Aggregated access counts of one layer execution. */
+struct AccessCounts
+{
+    int64_t macs = 0;
+    int64_t buffer_word_reads = 0;  ///< iact/weight words from SRAM
+    int64_t buffer_line_reads = 0;  ///< line activations (conflicts repeat)
+    int64_t buffer_word_writes = 0; ///< oact words into SRAM
+    int64_t reg_accesses = 0;       ///< local register file traffic
+    int64_t noc_word_hops = 0;      ///< switch traversals
+    int64_t dram_words = 0;         ///< off-chip words moved
+};
+
+/** Total pJ of @p counts under @p table. */
+double totalEnergyPj(const EnergyTable &table, const AccessCounts &counts,
+                     int64_t line_size);
+
+} // namespace feather

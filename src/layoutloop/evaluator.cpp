@@ -1,0 +1,292 @@
+#include "layoutloop/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace feather {
+
+std::string
+toString(ReorderCapability c)
+{
+    switch (c) {
+      case ReorderCapability::None: return "none";
+      case ReorderCapability::OffChip: return "off-chip";
+      case ReorderCapability::LineRotation: return "line-rotation";
+      case ReorderCapability::Transpose: return "transpose";
+      case ReorderCapability::TransposeRowReorder: return "transpose+row";
+      case ReorderCapability::Rir: return "RIR";
+    }
+    panic("unreachable reorder capability");
+}
+
+std::string
+EvalResult::toString() const
+{
+    return strCat("util=", int(practical_utilization * 100), "% slowdown=",
+                  slowdown, " cycles=", total_cycles, " (stall=",
+                  stall_cycles, " reorder=", reorder_cycles, ") pJ=",
+                  energy_pj, " map=", mapping.toString(), " layout=",
+                  layout.toString());
+}
+
+namespace {
+
+/** Distinct-slot count of an address set (column-access detection). */
+bool
+isColumnAccess(const std::vector<LineAddr> &addrs)
+{
+    if (addrs.size() < 2) return false;
+    const int64_t slot = addrs.front().slot;
+    for (const auto &a : addrs) {
+        if (a.slot != slot) return false;
+    }
+    return true;
+}
+
+struct SlowdownStats
+{
+    double avg_slowdown = 1.0;
+    double avg_distinct_words = 0.0;
+    double avg_distinct_lines = 0.0;
+    bool used_transpose = false;
+    double rotation_fraction = 0.0; ///< share of cycles using line rotation
+};
+
+/**
+ * Bank-conflict assessment (§V-B) with the design's mitigation applied:
+ * slowdown of one cycle = max(ceil(NL/NP), 1) over banks, where the
+ * mitigation can raise NP (line rotation) or collapse column accesses
+ * (transpose).
+ */
+SlowdownStats
+assessSlowdown(const ArchSpec &arch, const LayerSpec &layer,
+               const Mapping &mapping, const BoundLayout &bl,
+               int max_samples = 16)
+{
+    SlowdownStats out;
+    const auto bases = sampleTemporalBases(layer, mapping, max_samples);
+    const auto spatial = mapping.spatial();
+
+    double slow_sum = 0.0;
+    double words_sum = 0.0;
+    double lines_sum = 0.0;
+    int64_t rotated = 0;
+    int counted = 0;
+    for (const Coord &base : bases) {
+        const auto coords = concurrentIactCoords(layer, spatial, base);
+        if (coords.empty()) continue;
+        std::vector<LineAddr> addrs;
+        addrs.reserve(coords.size());
+        for (const Coord &c : coords) addrs.push_back(bl.addrOf(c));
+
+        std::vector<int64_t> lines;
+        lines.reserve(addrs.size());
+        for (const auto &a : addrs) lines.push_back(a.line);
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+        int ports = arch.iact_buffer.read_ports;
+        int64_t cycle_cost = 0;
+        const bool transposable =
+            (arch.reorder == ReorderCapability::Transpose ||
+             arch.reorder == ReorderCapability::TransposeRowReorder) &&
+            isColumnAccess(addrs);
+        if (transposable) {
+            // After an MLU transpose the column lives in one line.
+            cycle_cost = 1;
+            out.used_transpose = true;
+        } else {
+            if (arch.reorder == ReorderCapability::LineRotation) {
+                // Rotating one conflicting line into a sibling bank adds
+                // one effective port (Fig. 5b).
+                ports += 1;
+                if (int64_t(lines.size()) > arch.iact_buffer.read_ports) {
+                    ++rotated;
+                }
+            }
+            cycle_cost = conflictCycles(arch.iact_buffer, lines, ports);
+        }
+        slow_sum += double(cycle_cost);
+        words_sum += double(coords.size());
+        lines_sum += double(lines.size());
+        ++counted;
+    }
+    if (counted > 0) {
+        out.avg_slowdown = slow_sum / counted;
+        out.avg_distinct_words = words_sum / counted;
+        out.avg_distinct_lines = lines_sum / counted;
+        out.rotation_fraction = double(rotated) / counted;
+    }
+    return out;
+}
+
+} // namespace
+
+EvalResult
+evaluateMapping(const ArchSpec &arch, const LayerSpec &layer,
+                const Mapping &mapping, const Layout &layout,
+                const Layout *prev_layout, const EnergyTable &energy)
+{
+    EvalResult res;
+    res.mapping = mapping;
+    res.layout = layout;
+
+    const bool is_gemm = layer.type == OpType::Gemm;
+    const Extents ext = is_gemm ? gemmExtents(layer.gemm)
+                                : convExtents(layer.conv);
+
+    // Spatial fit.
+    if (totalDegree(mapping.cols) > arch.pe_cols ||
+        totalDegree(mapping.rows) > arch.pe_rows) {
+        return res; // invalid
+    }
+
+    // Quantized ideal cycles: every dim contributes ceil(extent/unroll).
+    DimMap unroll;
+    for (int i = 0; i < kNumDims; ++i) unroll[Dim(i)] = 1;
+    for (const auto &pd : mapping.spatial()) unroll[pd.dim] *= pd.degree;
+
+    std::vector<Dim> dims;
+    if (is_gemm) {
+        dims = {Dim::M, Dim::N, Dim::K};
+    } else if (layer.conv.depthwise) {
+        dims = {Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+    } else {
+        dims = {Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+    }
+    int64_t ideal_cycles = 1;
+    for (Dim d : dims) {
+        ideal_cycles *= ceilDiv(std::max<int64_t>(ext[d], 1), unroll[d]);
+    }
+
+    // Rigid systolic arrays pay a fill + drain bubble per stationary
+    // weight tile (the streaming dimension must empty the array before the
+    // next tile loads), and the accumulator bounds how long one tile can
+    // stream before results must drain (Gemmini-style double-buffered
+    // accumulators hold ~64 output rows).
+    if (arch.systolic_fill_drain) {
+        int64_t weight_tiles = 1;
+        const std::vector<Dim> wdims =
+            is_gemm ? std::vector<Dim>{Dim::K, Dim::N}
+                    : std::vector<Dim>{Dim::M, Dim::C, Dim::R, Dim::S};
+        for (Dim d : wdims) {
+            weight_tiles *=
+                ceilDiv(std::max<int64_t>(ext[d], 1), unroll[d]);
+        }
+        const int64_t stream = std::max<int64_t>(
+            ideal_cycles / std::max<int64_t>(weight_tiles, 1), 1);
+        const int64_t segments = ceilDiv<int64_t>(stream, 32);
+        const int64_t bubble =
+            2 * int64_t(std::sqrt(double(arch.numPes())) + 0.5);
+        ideal_cycles += weight_tiles * segments * bubble;
+    }
+
+    res.theoretical_utilization = spatialOccupancy(mapping.spatial(), ext);
+
+    // Bank-conflict slowdown under this layout.
+    const BoundLayout bl(layout, iactExtents(layer));
+    const SlowdownStats slow = assessSlowdown(arch, layer, mapping, bl);
+    res.slowdown = slow.avg_slowdown;
+    res.practical_utilization =
+        res.theoretical_utilization / res.slowdown;
+
+    res.compute_cycles = ideal_cycles;
+    res.stall_cycles =
+        int64_t(double(ideal_cycles) * (res.slowdown - 1.0) + 0.5);
+
+    // ---- reorder overheads (Fig. 6 implementations) ----
+    const int64_t iact_words = is_gemm ? layer.gemm.m * layer.gemm.k
+                                       : layer.conv.iactElems();
+    const int64_t oact_words = is_gemm ? layer.gemm.m * layer.gemm.n
+                                       : layer.conv.oactElems();
+    const bool layout_differs =
+        prev_layout != nullptr && !(*prev_layout == layout);
+    AccessCounts counts;
+    double reorder_pj = 0.0;
+
+    switch (arch.reorder) {
+      case ReorderCapability::None:
+      case ReorderCapability::LineRotation:
+        // No layer-granularity layout change possible; conflicts (or their
+        // rotation mitigation) were already priced into the slowdown.
+        if (arch.reorder == ReorderCapability::LineRotation) {
+            // Each mitigated cycle copies one line into a sibling bank.
+            const int64_t copies = int64_t(
+                slow.rotation_fraction * double(ideal_cycles) + 0.5);
+            counts.buffer_word_writes += copies * bl.lineSize();
+            reorder_pj += energy.sram_word * double(copies * bl.lineSize());
+        }
+        break;
+      case ReorderCapability::OffChip: {
+        // oActs stream out to DRAM, the CPU reorders, iActs stream back
+        // (Fig. 6a). The reduction writes oActs in dataflow order, which is
+        // generally discordant with the next layer's need, so the round
+        // trip happens every layer. Latency overlaps with compute; the
+        // remainder is exposed.
+        (void)layout_differs;
+        const int64_t words = 2 * iact_words;
+        const int64_t reorder_cycles =
+            int64_t(double(words) / arch.offchip_bytes_per_cycle + 0.5);
+        const int64_t compute = res.compute_cycles + res.stall_cycles;
+        res.reorder_cycles =
+            std::max<int64_t>(0, reorder_cycles - compute);
+        counts.dram_words += words;
+        reorder_pj += energy.dram_word * double(words);
+        break;
+      }
+      case ReorderCapability::Transpose:
+      case ReorderCapability::TransposeRowReorder:
+        // Reorder-after-reduction through the MLU (Fig. 6b): the oActs are
+        // read, permuted, and written back on-chip, on the critical path.
+        if (slow.used_transpose) {
+            res.reorder_cycles =
+                2 * ceilDiv(oact_words, bl.lineSize());
+            counts.buffer_word_reads += oact_words;
+            counts.buffer_word_writes += oact_words;
+            reorder_pj += 2.0 * energy.sram_word * double(oact_words);
+        }
+        break;
+      case ReorderCapability::Rir:
+        // Reordering rides the reduction: no latency, and the switch
+        // energy is part of the reduction NoC traffic counted below.
+        break;
+    }
+
+    res.total_cycles =
+        res.compute_cycles + res.stall_cycles + res.reorder_cycles;
+    // Utilization as delivered work over occupied array-time (captures
+    // quantization, conflicts, fill/drain and exposed reorder together).
+    res.practical_utilization =
+        std::min(1.0, double(layer.macs()) /
+                          (double(res.total_cycles) * arch.numPes()));
+
+    // ---- energy ----
+    counts.macs = layer.macs();
+    counts.buffer_word_reads +=
+        int64_t(slow.avg_distinct_words * double(ideal_cycles));
+    counts.buffer_line_reads +=
+        int64_t(slow.avg_distinct_lines * double(ideal_cycles) *
+                res.slowdown);
+    counts.buffer_word_writes += oact_words;
+    // Weights stream from their scratchpad once per element (offline
+    // layout, §II-D1), then live in PE registers.
+    counts.buffer_word_reads += is_gemm ? layer.gemm.k * layer.gemm.n
+                                        : layer.conv.weightElems();
+    counts.reg_accesses = 3 * counts.macs; // two operand reads + acc write
+    counts.noc_word_hops = int64_t(
+        arch.noc_hops_per_word *
+        double(slow.avg_distinct_words * double(ideal_cycles) + oact_words));
+    counts.dram_words += is_gemm ? layer.gemm.k * layer.gemm.n
+                                 : layer.conv.weightElems();
+
+    res.energy_pj = totalEnergyPj(energy, counts, bl.lineSize());
+    res.reorder_energy_pj = reorder_pj;
+    res.valid = true;
+    return res;
+}
+
+} // namespace feather

@@ -1,0 +1,291 @@
+#include "layoutloop/mapper.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace feather {
+
+int64_t
+ModelEval::totalCycles() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers) total += l.best.total_cycles * l.repeat;
+    return total;
+}
+
+double
+ModelEval::totalEnergyPj() const
+{
+    double total = 0.0;
+    for (const auto &l : layers) total += l.best.energy_pj * l.repeat;
+    return total;
+}
+
+int64_t
+ModelEval::totalMacs() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers) total += l.layer->macs() * l.repeat;
+    return total;
+}
+
+double
+ModelEval::avgPracticalUtilization() const
+{
+    double weighted = 0.0;
+    double weights = 0.0;
+    for (const auto &l : layers) {
+        const double w = double(l.layer->macs() * l.repeat);
+        weighted += l.best.practical_utilization * w;
+        weights += w;
+    }
+    return weights > 0 ? weighted / weights : 0.0;
+}
+
+int64_t
+ModelEval::totalStallCycles() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers) total += l.best.stall_cycles * l.repeat;
+    return total;
+}
+
+int64_t
+ModelEval::totalReorderCycles() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers) total += l.best.reorder_cycles * l.repeat;
+    return total;
+}
+
+namespace {
+
+/** Power-of-two degrees 1..cap, plus cap itself when not a power of two. */
+std::vector<int64_t>
+degreeChoices(int64_t cap)
+{
+    std::vector<int64_t> out;
+    for (int64_t p = 1; p <= cap; p *= 2) out.push_back(p);
+    if (!out.empty() && out.back() != cap) out.push_back(cap);
+    return out;
+}
+
+/** Dims eligible for parallelism on this layer. */
+std::vector<Dim>
+parallelDims(const LayerSpec &layer)
+{
+    if (layer.type == OpType::Gemm) return {Dim::M, Dim::N, Dim::K};
+    if (layer.conv.depthwise) {
+        return {Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+    }
+    return {Dim::C, Dim::M, Dim::P, Dim::Q, Dim::R, Dim::S};
+}
+
+/** Split a flat spatial list onto cols (first entry) and rows (rest). */
+Mapping
+splitColsRows(const std::vector<ParallelDim> &spatial)
+{
+    Mapping m;
+    for (size_t i = 0; i < spatial.size(); ++i) {
+        if (i == 0) {
+            m.cols.push_back(spatial[i]);
+        } else {
+            m.rows.push_back(spatial[i]);
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+std::vector<Mapping>
+Mapper::candidateMappings(const LayerSpec &layer) const
+{
+    std::vector<Mapping> out;
+    const Extents ext = layer.type == OpType::Gemm
+                            ? gemmExtents(layer.gemm)
+                            : convExtents(layer.conv);
+
+    // Depthwise layers have no independent M: fixed-dataflow designs run
+    // them with their spatial/window parallelism in M's place (the way
+    // systolic arrays execute per-channel 2D convolutions).
+    auto adapt = [&](std::vector<ParallelDim> spatial) {
+        if (layer.type != OpType::DepthwiseConv) return spatial;
+        for (auto &pd : spatial) {
+            if (pd.dim == Dim::M) pd.dim = Dim::Q;
+        }
+        return spatial;
+    };
+
+    if (!arch_.flex.parallelism && !arch_.flex.shape) {
+        // T-only designs: the fixed unrolling, as built.
+        out.push_back(splitColsRows(adapt(arch_.flex.fixed_spatial)));
+        return out;
+    }
+
+    if (!arch_.flex.parallelism && arch_.flex.shape) {
+        // TS designs (Eyeriss-like): dims fixed, virtual grouping free.
+        const auto fixed = adapt(arch_.flex.fixed_spatial);
+        FEATHER_CHECK(fixed.size() >= 1 && fixed.size() <= 2,
+                      "shape-flex designs fix one or two dims");
+        const Dim d0 = fixed[0].dim;
+        const Dim d1 = fixed.size() > 1 ? fixed[1].dim : fixed[0].dim;
+        for (int64_t p0 : degreeChoices(arch_.pe_cols)) {
+            for (int64_t p1 : degreeChoices(arch_.pe_rows)) {
+                if (fixed.size() == 1 && p1 > 1) continue;
+                Mapping m;
+                m.cols = {{d0, p0}};
+                if (fixed.size() > 1) m.rows = {{d1, p1}};
+                out.push_back(m);
+            }
+        }
+        return out;
+    }
+
+    // TOPS designs: dims and degrees free. Columns may carry one or two
+    // dims, rows carry one — a pruned but representative space (the paper
+    // similarly prunes with random search).
+    const std::vector<Dim> dims = parallelDims(layer);
+    for (Dim dc : dims) {
+        for (int64_t pc : degreeChoices(arch_.pe_cols)) {
+            if (pc > roundUp<int64_t>(std::max<int64_t>(ext[dc], 1), 2)) {
+                continue;
+            }
+            for (Dim dr : dims) {
+                if (dr == dc) continue;
+                for (int64_t pr : degreeChoices(arch_.pe_rows)) {
+                    if (pr > roundUp<int64_t>(std::max<int64_t>(ext[dr], 1),
+                                              2)) {
+                        continue;
+                    }
+                    Mapping m;
+                    m.cols = {{dc, pc}};
+                    m.rows = {{dr, pr}};
+                    out.push_back(m);
+
+                    // Two-dim columns: add a second col dim filling the
+                    // remaining column capacity.
+                    if (pc < arch_.pe_cols) {
+                        for (Dim dc2 : dims) {
+                            if (dc2 == dc || dc2 == dr) continue;
+                            const int64_t pc2 = arch_.pe_cols / pc;
+                            if (pc2 <= 1) continue;
+                            if (pc2 > roundUp<int64_t>(
+                                          std::max<int64_t>(ext[dc2], 1), 2)) {
+                                continue;
+                            }
+                            Mapping m2 = m;
+                            m2.cols.push_back({dc2, pc2});
+                            out.push_back(m2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Layout>
+Mapper::candidateLayouts(const LayerSpec &layer) const
+{
+    (void)layer;
+    FEATHER_CHECK(!arch_.layouts.empty(), "ArchSpec '", arch_.name,
+                  "' has no layouts configured");
+    if (arch_.reorder == ReorderCapability::Rir ||
+        arch_.reorder == ReorderCapability::OffChip) {
+        return arch_.layouts; // per-layer choice
+    }
+    return {arch_.layouts.front()};
+}
+
+EvalResult
+Mapper::searchLayer(const LayerSpec &layer, const Layout *prev_layout) const
+{
+    const Extents ext = layer.type == OpType::Gemm
+                            ? gemmExtents(layer.gemm)
+                            : convExtents(layer.conv);
+    std::vector<Dim> dims;
+    if (layer.type == OpType::Gemm) {
+        dims = {Dim::M, Dim::N, Dim::K};
+    } else if (layer.conv.depthwise) {
+        dims = {Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+    } else {
+        dims = {Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+    }
+    auto ideal_cycles_of = [&](const Mapping &m) {
+        DimMap unroll;
+        for (int i = 0; i < kNumDims; ++i) unroll[Dim(i)] = 1;
+        for (const auto &pd : m.spatial()) unroll[pd.dim] *= pd.degree;
+        int64_t cycles = 1;
+        for (Dim d : dims) {
+            cycles *= ceilDiv(std::max<int64_t>(ext[d], 1), unroll[d]);
+        }
+        return cycles;
+    };
+
+    // Evaluate high-occupancy (low ideal-cycle) candidates first so the
+    // EDP lower bound (cycles x pure-MAC energy <= any achievable EDP)
+    // prunes the tail cheaply.
+    std::vector<Mapping> candidates = candidateMappings(layer);
+    std::vector<std::pair<int64_t, size_t>> order;
+    order.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        order.emplace_back(ideal_cycles_of(candidates[i]), i);
+    }
+    std::sort(order.begin(), order.end());
+
+    const double mac_pj = EnergyTable{}.mac_int8 * double(layer.macs());
+    EvalResult best;
+    const auto layouts = candidateLayouts(layer);
+    for (const auto &[cycles_lb, idx] : order) {
+        if (best.valid && double(cycles_lb) * mac_pj >= best.edp()) {
+            break; // all remaining candidates are dominated
+        }
+        for (const Layout &layout : layouts) {
+            const EvalResult r = evaluateMapping(arch_, layer,
+                                                 candidates[idx], layout,
+                                                 prev_layout);
+            if (!r.valid) continue;
+            if (!best.valid || r.edp() < best.edp() ||
+                (r.edp() == best.edp() &&
+                 r.total_cycles < best.total_cycles)) {
+                best = r;
+            }
+        }
+    }
+    FEATHER_CHECK(best.valid, "no valid mapping found for ",
+                  layer.toString(), " on ", arch_.name);
+    return best;
+}
+
+ModelEval
+Mapper::searchModel(const std::vector<LayerSpec> &model) const
+{
+    ModelEval eval;
+    // Memoize by layer shape: repeated shapes (ResNet's identical blocks)
+    // share one search.
+    std::unordered_map<std::string, EvalResult> memo;
+    for (const auto &layer : model) {
+        if (!isMacOp(layer.type) || layer.type == OpType::AvgPool) continue;
+        LayerDecision dec;
+        dec.layer = &layer;
+        dec.repeat = layer.repeat;
+        const std::string key = layer.type == OpType::Gemm
+                                    ? layer.gemm.toString()
+                                    : layer.conv.toString();
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            it = memo.emplace(key, searchLayer(layer, nullptr)).first;
+        }
+        dec.best = it->second;
+        eval.layers.push_back(std::move(dec));
+    }
+    return eval;
+}
+
+} // namespace feather

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Layoutloop's mapper: per-layer (dataflow, layout) co-search (§V / §VI-A2).
+ *
+ * The candidate space follows the design's TOPS flexibility:
+ *  - T only (NVDLA/Gemmini/DPU/Edge-TPU-like): the single fixed spatial
+ *    unrolling is evaluated as-is.
+ *  - TS (Eyeriss-like): the dims are fixed but their degrees (the virtual
+ *    array shape) are searchable.
+ *  - TOPS (SIGMA/FEATHER-like): parallel dims and degrees are searchable
+ *    (power-of-two degrees over the layer's dims).
+ * Layout choice per layer is only available to designs whose reorder
+ * mechanism can actually produce a different word-granularity layout
+ * (off-chip reordering and RIR); everything else runs its fixed layout.
+ *
+ * The objective is minimum EDP, the paper's §VI-A2 metric.
+ */
+
+#include <vector>
+
+#include "layoutloop/evaluator.hpp"
+
+namespace feather {
+
+/** Per-layer search outcome plus its repeat count. */
+struct LayerDecision
+{
+    EvalResult best;
+    const LayerSpec *layer = nullptr;
+    int repeat = 1;
+};
+
+/** Aggregate over a model run. */
+struct ModelEval
+{
+    std::vector<LayerDecision> layers;
+
+    int64_t totalCycles() const;
+    double totalEnergyPj() const;
+    int64_t totalMacs() const;
+    double avgPracticalUtilization() const; ///< MAC-weighted
+    int64_t totalStallCycles() const;
+    int64_t totalReorderCycles() const;
+};
+
+/** Mapper over one ArchSpec. */
+class Mapper
+{
+  public:
+    explicit Mapper(ArchSpec arch) : arch_(std::move(arch)) {}
+
+    const ArchSpec &arch() const { return arch_; }
+
+    /** All candidate mappings of @p layer under the design's flexibility. */
+    std::vector<Mapping> candidateMappings(const LayerSpec &layer) const;
+
+    /** Layouts the design may use for @p layer. */
+    std::vector<Layout> candidateLayouts(const LayerSpec &layer) const;
+
+    /** Best-EDP (mapping, layout) for one layer. */
+    EvalResult searchLayer(const LayerSpec &layer,
+                           const Layout *prev_layout = nullptr) const;
+
+    /** Per-layer search across a model (MAC layers only). */
+    ModelEval searchModel(const std::vector<LayerSpec> &model) const;
+
+  private:
+    ArchSpec arch_;
+};
+
+} // namespace feather

@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * NEST: FEATHER's neural engine with Spatial forwarding and Temporal
+ * reduction (paper §III-A, Fig. 8/9).
+ *
+ * The array is AW columns x AH rows of PEs. Each PE holds a slice of
+ * weights in a ping-pong local register file (so the next tile's weights
+ * load while the current tile computes, hiding the AH^2-cycle preload) and
+ * accumulates Phase-1 local temporal reductions. In Phase 2, one row per
+ * cycle drives the column-wise output buses, sending AW locally-reduced
+ * partial sums into BIRRD while the other rows keep computing.
+ *
+ * This class models the *functional* datapath (exact int arithmetic per
+ * emission). Cycle accounting lives in the FEATHER controller, which knows
+ * the mapping, the buffers, and the stall sources.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/birrd.hpp" // PortValue
+
+namespace feather {
+
+/** The 2D PE array with ping-pong weight register files. */
+class NestArray
+{
+  public:
+    /**
+     * @param aw  columns (must match the BIRRD input count)
+     * @param ah  rows
+     * @param max_local capacity of each PE's local weight register file
+     */
+    NestArray(int aw, int ah, int max_local = 512);
+
+    int aw() const { return aw_; }
+    int ah() const { return ah_; }
+    int maxLocal() const { return max_local_; }
+
+    /**
+     * Write one weight into the *shadow* register bank of PE (row, col).
+     * Weights are stored post-zero-point-subtraction (9-bit range), as the
+     * datapath multiplies 9b x 9b (Fig. 8).
+     */
+    void loadWeight(int row, int col, int local_step, int16_t weight);
+
+    /** Swap ping/pong register banks (new tile becomes active). */
+    void swapWeightBanks();
+
+    /** Active-bank weight of PE (row, col) at @p local_step. */
+    int16_t weight(int row, int col, int local_step) const;
+
+    /**
+     * Phase 1 + one Phase-2 emission for @p row.
+     *
+     * @param row    the emitting row
+     * @param iacts  iacts[col][local_step], zero-point-subtracted; inactive
+     *               (padded / out-of-range) taps must be 0
+     * @param active active[col] = false leaves the column bus silent
+     * @return AW partial sums (std::nullopt on silent columns)
+     */
+    std::vector<PortValue>
+    computeRowEmission(int row, const std::vector<std::vector<int16_t>> &iacts,
+                       const std::vector<bool> &active);
+
+    /** Cycles to preload a full array of weights (paper: AH^2). */
+    int64_t weightLoadCycles() const { return int64_t(ah_) * ah_; }
+
+    /** Total multiply-accumulates executed so far. */
+    int64_t macsExecuted() const { return macs_; }
+
+    /** Total weight-register writes so far (for energy accounting). */
+    int64_t weightWrites() const { return weight_writes_; }
+
+  private:
+    size_t
+    regIndex(int bank, int row, int col, int local_step) const
+    {
+        return ((size_t(bank) * size_t(ah_) + size_t(row)) * size_t(aw_) +
+                size_t(col)) * size_t(max_local_) + size_t(local_step);
+    }
+
+    int aw_;
+    int ah_;
+    int max_local_;
+    int active_bank_ = 0;
+    std::vector<int16_t> regs_; ///< [2][ah][aw][max_local]
+    int64_t macs_ = 0;
+    int64_t weight_writes_ = 0;
+};
+
+} // namespace feather

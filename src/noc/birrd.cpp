@@ -1,0 +1,102 @@
+#include "noc/birrd.hpp"
+
+#include "common/log.hpp"
+
+namespace feather {
+
+std::string
+toString(EggConfig c)
+{
+    switch (c) {
+      case EggConfig::Pass: return "=";
+      case EggConfig::Swap: return "x";
+      case EggConfig::AddLeft: return "+L";
+      case EggConfig::AddRight: return "+R";
+      case EggConfig::AddBoth: return "+B";
+      case EggConfig::DupLeft: return "dL";
+      case EggConfig::DupRight: return "dR";
+    }
+    panic("unreachable egg config");
+}
+
+std::pair<PortValue, PortValue>
+evalEgg(EggConfig cfg, PortValue left, PortValue right)
+{
+    auto sum = [&]() -> PortValue {
+        if (!left && !right) return std::nullopt;
+        return left.value_or(0) + right.value_or(0);
+    };
+    switch (cfg) {
+      case EggConfig::Pass: return {left, right};
+      case EggConfig::Swap: return {right, left};
+      case EggConfig::AddLeft: return {sum(), std::nullopt};
+      case EggConfig::AddRight: return {std::nullopt, sum()};
+      case EggConfig::AddBoth: return {sum(), sum()};
+      case EggConfig::DupLeft: return {left, left};
+      case EggConfig::DupRight: return {right, right};
+    }
+    panic("unreachable egg config");
+}
+
+BirrdConfigWord
+passThroughConfig(const BirrdTopology &topo)
+{
+    return BirrdConfigWord(
+        size_t(topo.numStages()),
+        std::vector<EggConfig>(size_t(topo.switchesPerStage()),
+                               EggConfig::Pass));
+}
+
+std::vector<PortValue>
+BirrdNetwork::evaluate(const BirrdConfigWord &config,
+                       const std::vector<PortValue> &inputs) const
+{
+    const int n = topo_.numInputs();
+    FEATHER_CHECK(int(inputs.size()) == n, "input arity mismatch");
+    FEATHER_CHECK(int(config.size()) == topo_.numStages(),
+                  "config stage count mismatch");
+
+    std::vector<PortValue> ports = inputs;
+    std::vector<PortValue> next(static_cast<size_t>(n));
+    for (int s = 0; s < topo_.numStages(); ++s) {
+        FEATHER_CHECK(int(config[s].size()) == topo_.switchesPerStage(),
+                      "config switch count mismatch at stage ", s);
+        std::fill(next.begin(), next.end(), std::nullopt);
+        for (int sw = 0; sw < topo_.switchesPerStage(); ++sw) {
+            const auto [lo, ro] =
+                evalEgg(config[s][sw], ports[size_t(2 * sw)],
+                        ports[size_t(2 * sw + 1)]);
+            next[size_t(topo_.wire(s, 2 * sw))] = lo;
+            next[size_t(topo_.wire(s, 2 * sw + 1))] = ro;
+        }
+        ports = next;
+    }
+    return ports;
+}
+
+int64_t
+BirrdNetwork::activeSwitches(const BirrdConfigWord &config,
+                             const std::vector<PortValue> &inputs) const
+{
+    const int n = topo_.numInputs();
+    FEATHER_CHECK(int(inputs.size()) == n, "input arity mismatch");
+
+    int64_t active = 0;
+    std::vector<PortValue> ports = inputs;
+    std::vector<PortValue> next(static_cast<size_t>(n));
+    for (int s = 0; s < topo_.numStages(); ++s) {
+        std::fill(next.begin(), next.end(), std::nullopt);
+        for (int sw = 0; sw < topo_.switchesPerStage(); ++sw) {
+            const PortValue l = ports[size_t(2 * sw)];
+            const PortValue r = ports[size_t(2 * sw + 1)];
+            if (l || r) ++active;
+            const auto [lo, ro] = evalEgg(config[s][sw], l, r);
+            next[size_t(topo_.wire(s, 2 * sw))] = lo;
+            next[size_t(topo_.wire(s, 2 * sw + 1))] = ro;
+        }
+        ports = next;
+    }
+    return active;
+}
+
+} // namespace feather

@@ -1,0 +1,39 @@
+#include "tensor/quant.hpp"
+
+#include <cmath>
+
+namespace feather {
+
+int8_t
+clampToInt8(int32_t v)
+{
+    if (v < -128) return -128;
+    if (v > 127) return 127;
+    return static_cast<int8_t>(v);
+}
+
+int8_t
+quantize(float real, const QuantParams &qp)
+{
+    const float scaled = real / qp.scale;
+    const int32_t rounded =
+        static_cast<int32_t>(std::lround(scaled)) + qp.zero_point;
+    return clampToInt8(rounded);
+}
+
+float
+dequantize(int8_t q, const QuantParams &qp)
+{
+    return qp.scale * float(int32_t(q) - int32_t(qp.zero_point));
+}
+
+int8_t
+requantize(int32_t acc, float multiplier, int8_t out_zp)
+{
+    const double scaled = double(acc) * double(multiplier);
+    // Round half away from zero, matching FBGEMM's default host rounding.
+    const int64_t rounded = int64_t(std::llround(scaled));
+    return clampToInt8(int32_t(rounded + out_zp));
+}
+
+} // namespace feather

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * FBGEMM/QNNPACK-style affine quantization, as used by FEATHER's Quantize
+ * Module (QM): 8-bit zero points and 32-bit (float) scales (paper §III-C4).
+ *
+ * real = scale * (q - zero_point)
+ *
+ * The QM rescales 32-bit accumulator outputs down to int8 using the combined
+ * scale (s_in * s_w / s_out) and the output zero point, with round-half-away
+ * -from-zero semantics. Both the reference ops and the cycle simulator use
+ * exactly these functions so results compare bit-exactly.
+ */
+
+#include <cstdint>
+
+namespace feather {
+
+/** Affine quantization parameters for one tensor. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    int8_t zero_point = 0;
+};
+
+/** Clamp an int32 into int8 range. */
+int8_t clampToInt8(int32_t v);
+
+/** Quantize one real value under @p qp. */
+int8_t quantize(float real, const QuantParams &qp);
+
+/** Dequantize one int8 value under @p qp. */
+float dequantize(int8_t q, const QuantParams &qp);
+
+/**
+ * Requantize a 32-bit accumulator value into int8.
+ *
+ * @param acc        int32 accumulator (sum of (x-zx)*(w-zw) products)
+ * @param multiplier combined scale s_x*s_w/s_out
+ * @param out_zp     output zero point
+ */
+int8_t requantize(int32_t acc, float multiplier, int8_t out_zp);
+
+} // namespace feather

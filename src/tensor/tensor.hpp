@@ -1,0 +1,130 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal dense tensor with row-major logical indexing.
+ *
+ * The simulator distinguishes *logical* tensors (what a layer computes on,
+ * indexed by named dimensions like N/C/H/W) from *physical* on-chip layouts
+ * (src/layout). A Tensor is always logically row-major over its shape; the
+ * Layout machinery decides where each element physically lives in a buffer.
+ */
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace feather {
+
+/** Dense n-dimensional tensor of POD elements. */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(std::vector<int64_t> shape, T fill = T{})
+        : shape_(std::move(shape))
+    {
+        int64_t n = 1;
+        for (int64_t d : shape_) {
+            FEATHER_CHECK(d > 0, "tensor dims must be positive");
+            n *= d;
+        }
+        data_.assign(size_t(n), fill);
+        computeStrides();
+    }
+
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t dim(size_t i) const { return shape_.at(i); }
+    size_t rank() const { return shape_.size(); }
+    int64_t numel() const { return int64_t(data_.size()); }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    T &operator[](size_t flat) { return data_[flat]; }
+    const T &operator[](size_t flat) const { return data_[flat]; }
+
+    /** Flat offset of a coordinate vector (row-major). */
+    int64_t
+    offset(const std::vector<int64_t> &idx) const
+    {
+        FEATHER_CHECK(idx.size() == shape_.size(), "rank mismatch");
+        int64_t off = 0;
+        for (size_t i = 0; i < idx.size(); ++i) {
+            FEATHER_CHECK(idx[i] >= 0 && idx[i] < shape_[i],
+                          "index ", idx[i], " out of bounds for dim ", i,
+                          " (extent ", shape_[i], ")");
+            off += idx[i] * strides_[i];
+        }
+        return off;
+    }
+
+    T &at(const std::vector<int64_t> &idx) { return data_[size_t(offset(idx))]; }
+    const T &
+    at(const std::vector<int64_t> &idx) const
+    {
+        return data_[size_t(offset(idx))];
+    }
+
+    /** Convenience accessors for the common 4-D (N,C,H,W) case. */
+    T &
+    at4(int64_t a, int64_t b, int64_t c, int64_t d)
+    {
+        return data_[size_t(a * strides_[0] + b * strides_[1] +
+                            c * strides_[2] + d * strides_[3])];
+    }
+    const T &
+    at4(int64_t a, int64_t b, int64_t c, int64_t d) const
+    {
+        return data_[size_t(a * strides_[0] + b * strides_[1] +
+                            c * strides_[2] + d * strides_[3])];
+    }
+
+    /** Convenience accessors for the 2-D (rows, cols) case. */
+    T &at2(int64_t r, int64_t c) { return data_[size_t(r * strides_[0] + c)]; }
+    const T &
+    at2(int64_t r, int64_t c) const
+    {
+        return data_[size_t(r * strides_[0] + c)];
+    }
+
+    /** Fill with uniform random values in [lo, hi] from @p rng. */
+    void
+    randomize(Rng &rng, int64_t lo, int64_t hi)
+    {
+        for (auto &v : data_) {
+            v = static_cast<T>(rng.range(lo, hi));
+        }
+    }
+
+    bool
+    operator==(const Tensor &o) const
+    {
+        return shape_ == o.shape_ && data_ == o.data_;
+    }
+
+  private:
+    void
+    computeStrides()
+    {
+        strides_.assign(shape_.size(), 1);
+        for (size_t i = shape_.size(); i-- > 1;) {
+            strides_[i - 1] = strides_[i] * shape_[i];
+        }
+    }
+
+    std::vector<int64_t> shape_;
+    std::vector<int64_t> strides_;
+    std::vector<T> data_;
+};
+
+using Int8Tensor = Tensor<int8_t>;
+using Int32Tensor = Tensor<int32_t>;
+using FloatTensor = Tensor<float>;
+
+} // namespace feather

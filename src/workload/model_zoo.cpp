@@ -1,0 +1,196 @@
+#include "workload/model_zoo.hpp"
+
+#include "common/log.hpp"
+
+namespace feather {
+
+namespace {
+
+LayerSpec
+convLayer(std::string name, int64_t c, int64_t hw, int64_t m, int64_t rs,
+          int64_t stride, int64_t pad)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = OpType::Conv;
+    l.conv = ConvShape{1, c, hw, hw, m, rs, rs, stride, pad, false};
+    return l;
+}
+
+LayerSpec
+dwLayer(std::string name, int64_t c, int64_t hw, int64_t rs, int64_t stride)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = OpType::DepthwiseConv;
+    l.conv = ConvShape{1, c, hw, hw, c, rs, rs, stride, (rs - 1) / 2, true};
+    return l;
+}
+
+LayerSpec
+gemmLayer(std::string name, int64_t m, int64_t n, int64_t k, int repeat = 1)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = OpType::Gemm;
+    l.gemm = GemmShape{m, n, k};
+    l.repeat = repeat;
+    return l;
+}
+
+} // namespace
+
+std::vector<LayerSpec>
+resnet50()
+{
+    std::vector<LayerSpec> layers;
+    int conv_id = 0;
+    auto add = [&](int64_t c, int64_t hw, int64_t m, int64_t rs,
+                   int64_t stride) {
+        ++conv_id;
+        layers.push_back(convLayer(strCat("conv", conv_id), c, hw, m, rs,
+                                   stride, (rs - 1) / 2));
+    };
+
+    // Stem: 7x7/2, pad 3, 224 -> 112.
+    {
+        ++conv_id;
+        layers.push_back(convLayer("conv1", 3, 224, 64, 7, 2, 3));
+    }
+    {
+        LayerSpec pool;
+        pool.name = "maxpool";
+        pool.type = OpType::MaxPool;
+        pool.conv = ConvShape{1, 64, 112, 112, 64, 3, 3, 2, 1, false};
+        layers.push_back(pool);
+    }
+
+    // Bottleneck stages: {num_blocks, mid_channels, out_channels, in_hw}.
+    struct Stage { int blocks; int64_t mid, out, hw; };
+    const Stage stages[] = {
+        {3, 64, 256, 56},
+        {4, 128, 512, 28},
+        {6, 256, 1024, 14},
+        {3, 512, 2048, 7},
+    };
+    int64_t in_c = 64;
+    for (int s = 0; s < 4; ++s) {
+        const Stage &st = stages[s];
+        for (int b = 0; b < st.blocks; ++b) {
+            // Stage 0 keeps 56x56; later stages downsample in block 0 at
+            // the 3x3 (torchvision ResNet-50 v1.5 convention).
+            const bool down = (s > 0 && b == 0);
+            const int64_t hw_in = down ? st.hw * 2 : st.hw;
+            add(in_c, hw_in, st.mid, 1, 1);                    // 1x1 reduce
+            add(st.mid, hw_in, st.mid, 3, down ? 2 : 1);       // 3x3
+            add(st.mid, st.hw, st.out, 1, 1);                  // 1x1 expand
+            if (b == 0) {
+                add(in_c, hw_in, st.out, 1, down ? 2 : 1);     // projection
+            }
+            in_c = st.out;
+        }
+    }
+
+    {
+        LayerSpec pool;
+        pool.name = "avgpool";
+        pool.type = OpType::AvgPool;
+        pool.conv = ConvShape{1, 2048, 7, 7, 2048, 7, 7, 1, 0, true};
+        layers.push_back(pool);
+    }
+    layers.push_back(gemmLayer("fc", 1, 1000, 2048));
+    return layers;
+}
+
+std::vector<LayerSpec>
+mobilenetV3Large()
+{
+    std::vector<LayerSpec> layers;
+    layers.push_back(convLayer("stem", 3, 224, 16, 3, 2, 1));
+
+    // MobileNet-V3-Large bneck table (Howard et al. 2019, Table 1):
+    // {kernel, expanded, out, stride}; input resolution tracked on the side.
+    struct Bneck { int64_t k, exp, out, stride; };
+    const Bneck bnecks[] = {
+        {3, 16, 16, 1},   {3, 64, 24, 2},   {3, 72, 24, 1},
+        {5, 72, 40, 2},   {5, 120, 40, 1},  {5, 120, 40, 1},
+        {3, 240, 80, 2},  {3, 200, 80, 1},  {3, 184, 80, 1},
+        {3, 184, 80, 1},  {3, 480, 112, 1}, {3, 672, 112, 1},
+        {5, 672, 160, 2}, {5, 960, 160, 1}, {5, 960, 160, 1},
+    };
+    int64_t in_c = 16;
+    int64_t hw = 112;
+    int id = 0;
+    for (const Bneck &b : bnecks) {
+        ++id;
+        if (b.exp != in_c) {
+            layers.push_back(convLayer(strCat("bneck", id, "_expand"), in_c,
+                                       hw, b.exp, 1, 1, 0));
+        }
+        layers.push_back(dwLayer(strCat("bneck", id, "_dw"), b.exp, hw, b.k,
+                                 b.stride));
+        if (b.stride == 2) hw /= 2;
+        layers.push_back(convLayer(strCat("bneck", id, "_project"), b.exp, hw,
+                                   b.out, 1, 1, 0));
+        in_c = b.out;
+    }
+
+    layers.push_back(convLayer("head_conv", 160, 7, 960, 1, 1, 0));
+    {
+        LayerSpec pool;
+        pool.name = "avgpool";
+        pool.type = OpType::AvgPool;
+        pool.conv = ConvShape{1, 960, 7, 7, 960, 7, 7, 1, 0, true};
+        layers.push_back(pool);
+    }
+    layers.push_back(gemmLayer("head_fc1", 1, 1280, 960));
+    layers.push_back(gemmLayer("head_fc2", 1, 1000, 1280));
+    return layers;
+}
+
+std::vector<LayerSpec>
+bertBase(int64_t seq_len)
+{
+    const int64_t d_model = 768;
+    const int64_t d_ff = 3072;
+    const int64_t heads = 12;
+    const int64_t d_head = d_model / heads;
+
+    std::vector<LayerSpec> layers;
+    // Per encoder layer (x12): fused QKV projection, attention score and
+    // context matmuls (per head), output projection, two FFN GEMMs.
+    layers.push_back(
+        gemmLayer("qkv_proj", seq_len, 3 * d_model, d_model, 12));
+    layers.push_back(gemmLayer("attn_scores", seq_len, seq_len, d_head,
+                               int(12 * heads)));
+    layers.push_back(gemmLayer("attn_context", seq_len, d_head, seq_len,
+                               int(12 * heads)));
+    layers.push_back(gemmLayer("attn_out", seq_len, d_model, d_model, 12));
+    layers.push_back(gemmLayer("ffn1", seq_len, d_ff, d_model, 12));
+    layers.push_back(gemmLayer("ffn2", seq_len, d_model, d_ff, 12));
+    return layers;
+}
+
+std::vector<LayerSpec>
+macLayers(const std::vector<LayerSpec> &model)
+{
+    std::vector<LayerSpec> out;
+    for (const auto &l : model) {
+        if (isMacOp(l.type) && l.type != OpType::AvgPool) {
+            out.push_back(l);
+        }
+    }
+    return out;
+}
+
+int64_t
+totalMacs(const std::vector<LayerSpec> &model)
+{
+    int64_t total = 0;
+    for (const auto &l : model) {
+        total += l.macs() * l.repeat;
+    }
+    return total;
+}
+
+} // namespace feather

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Layer tables for the paper's three evaluation workloads (§VI-A1):
+ * ResNet-50 and MobileNet-V3-Large as edge workloads, BERT-base as the cloud
+ * workload. Shapes follow the original model definitions (He et al. 2016,
+ * Howard et al. 2019, Devlin et al. 2019) at batch 1 / image 224x224 /
+ * sequence length 512.
+ */
+
+#include <vector>
+
+#include "workload/shapes.hpp"
+
+namespace feather {
+
+/**
+ * ResNet-50 convolution layers in execution order (53 convolutions,
+ * including the downsample/projection 1x1s), plus the final FC as a GEMM
+ * and the two pooling layers.
+ */
+std::vector<LayerSpec> resnet50();
+
+/** MobileNet-V3-Large: expand/depthwise/project triplets of each bneck. */
+std::vector<LayerSpec> mobilenetV3Large();
+
+/**
+ * BERT-base encoder GEMMs for one forward pass at @p seq_len tokens; the
+ * 12 identical encoder layers are expressed via LayerSpec::repeat.
+ */
+std::vector<LayerSpec> bertBase(int64_t seq_len = 512);
+
+/** Only the layers that run as MACs on the accelerator (conv/dw/gemm). */
+std::vector<LayerSpec> macLayers(const std::vector<LayerSpec> &model);
+
+/** Total MAC count of a model. */
+int64_t totalMacs(const std::vector<LayerSpec> &model);
+
+} // namespace feather

@@ -1,0 +1,124 @@
+#include "workload/shapes.hpp"
+
+#include "common/log.hpp"
+
+namespace feather {
+
+int64_t
+ConvShape::outH() const
+{
+    return (h + 2 * pad - r) / stride + 1;
+}
+
+int64_t
+ConvShape::outW() const
+{
+    return (w + 2 * pad - s) / stride + 1;
+}
+
+int64_t
+ConvShape::macs() const
+{
+    if (depthwise) {
+        return n * c * outH() * outW() * r * s;
+    }
+    return n * m * c * outH() * outW() * r * s;
+}
+
+int64_t
+ConvShape::extent(Dim d) const
+{
+    switch (d) {
+      case Dim::N: return n;
+      case Dim::M: return m;
+      case Dim::C: return c;
+      case Dim::H: return h;
+      case Dim::W: return w;
+      case Dim::P: return outH();
+      case Dim::Q: return outW();
+      case Dim::R: return r;
+      case Dim::S: return s;
+      case Dim::K: return c * r * s; // im2col reduction extent
+    }
+    panic("unreachable dim");
+}
+
+int64_t
+ConvShape::weightElems() const
+{
+    return depthwise ? c * r * s : m * c * r * s;
+}
+
+std::string
+ConvShape::toString() const
+{
+    return strCat(depthwise ? "DWConv" : "Conv", " N", n, " C", c, " H", h,
+                  " W", w, " M", m, " R", r, " S", s, " stride", stride,
+                  " pad", pad);
+}
+
+int64_t
+GemmShape::extent(Dim d) const
+{
+    switch (d) {
+      case Dim::M: return m;
+      case Dim::N: return n;
+      case Dim::K: return k;
+      default: return 1;
+    }
+}
+
+std::string
+GemmShape::toString() const
+{
+    return strCat("Gemm M", m, " N", n, " K", k);
+}
+
+std::string
+toString(OpType t)
+{
+    switch (t) {
+      case OpType::Conv: return "Conv";
+      case OpType::DepthwiseConv: return "DWConv";
+      case OpType::Gemm: return "Gemm";
+      case OpType::MaxPool: return "MaxPool";
+      case OpType::AvgPool: return "AvgPool";
+    }
+    panic("unreachable op type");
+}
+
+bool
+isMacOp(OpType t)
+{
+    return t == OpType::Conv || t == OpType::DepthwiseConv ||
+           t == OpType::Gemm || t == OpType::AvgPool;
+}
+
+int64_t
+LayerSpec::macs() const
+{
+    switch (type) {
+      case OpType::Conv:
+      case OpType::DepthwiseConv:
+        return conv.macs();
+      case OpType::Gemm:
+        return gemm.macs();
+      case OpType::AvgPool:
+        // Executed as a convolution on NEST.
+        return conv.macs();
+      case OpType::MaxPool:
+        return 0;
+    }
+    panic("unreachable op type");
+}
+
+std::string
+LayerSpec::toString() const
+{
+    if (type == OpType::Gemm) {
+        return strCat(name, ": ", gemm.toString());
+    }
+    return strCat(name, ": ", conv.toString());
+}
+
+} // namespace feather

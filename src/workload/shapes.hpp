@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Workload shape descriptors: convolution layers (seven-dimensional loop
+ * nest of Fig. 1), GEMM operators (Fig. 10 notation), and pooling layers.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dims.hpp"
+
+namespace feather {
+
+/** Shape of one convolution layer. */
+struct ConvShape
+{
+    int64_t n = 1;       ///< batch
+    int64_t c = 1;       ///< input channels
+    int64_t h = 1;       ///< input height
+    int64_t w = 1;       ///< input width
+    int64_t m = 1;       ///< output channels (kernels)
+    int64_t r = 1;       ///< kernel height
+    int64_t s = 1;       ///< kernel width
+    int64_t stride = 1;
+    int64_t pad = 0;
+    bool depthwise = false; ///< depthwise conv: one filter per channel, m==c
+
+    int64_t outH() const;   ///< P
+    int64_t outW() const;   ///< Q
+
+    /** Multiply-accumulate count. */
+    int64_t macs() const;
+
+    /** Extent of a named dimension (P/Q derived). */
+    int64_t extent(Dim d) const;
+
+    /** iAct / weight / oAct element counts. */
+    int64_t iactElems() const { return n * c * h * w; }
+    int64_t weightElems() const;
+    int64_t oactElems() const { return n * m * outH() * outW(); }
+
+    std::string toString() const;
+};
+
+/** Shape of one GEMM: inputs M x K, weights K x N, outputs M x N. */
+struct GemmShape
+{
+    int64_t m = 1;
+    int64_t n = 1;
+    int64_t k = 1;
+
+    int64_t macs() const { return m * n * k; }
+    int64_t extent(Dim d) const;
+    std::string toString() const;
+};
+
+/** Operator type of a network layer. */
+enum class OpType : uint8_t {
+    Conv,
+    DepthwiseConv,
+    Gemm,          ///< fully-connected / attention matmul
+    MaxPool,
+    AvgPool,
+};
+
+std::string toString(OpType t);
+
+/** @return true for operators executed on NEST (MAC work). */
+bool isMacOp(OpType t);
+
+/**
+ * One layer of a network in the model zoo.
+ *
+ * Conv-like layers populate @ref conv; GEMM layers populate @ref gemm.
+ * @ref repeat counts how many times the identical shape occurs back-to-back
+ * (used for BERT's 12 identical encoder blocks).
+ */
+struct LayerSpec
+{
+    std::string name;
+    OpType type = OpType::Conv;
+    ConvShape conv;
+    GemmShape gemm;
+    int repeat = 1;
+
+    int64_t macs() const;
+    std::string toString() const;
+};
+
+} // namespace feather

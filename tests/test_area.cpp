@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the area/power models behind Fig. 14 and Tab. V.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "area/area_model.hpp"
+
+namespace feather {
+namespace {
+
+TEST(ReductionNetworks, PaperRatios)
+{
+    // §VI-D1: BIRRD ~1.43x/2.21x the area and ~1.17x/2.07x the power of
+    // FAN/ART.
+    for (int n : {16, 32, 64, 128, 256}) {
+        const AreaPower b = birrdAreaPower(n);
+        const AreaPower f = fanAreaPower(n);
+        const AreaPower a = artAreaPower(n);
+        EXPECT_NEAR(b.area_um2 / f.area_um2, 1.43, 0.01);
+        EXPECT_NEAR(b.power_mw / f.power_mw, 1.17, 0.01);
+        EXPECT_NEAR(b.area_um2 / a.area_um2, 2.21, 0.01);
+        EXPECT_NEAR(b.power_mw / a.power_mw, 2.07, 0.01);
+    }
+}
+
+TEST(ReductionNetworks, MonotoneScaling)
+{
+    double prev_area = 0.0;
+    for (int n : {16, 32, 64, 128, 256}) {
+        const AreaPower b = birrdAreaPower(n);
+        EXPECT_GT(b.area_um2, prev_area);
+        prev_area = b.area_um2;
+    }
+    // N log N scaling: doubling inputs grows area by a bit more than 2x.
+    const double r = birrdAreaPower(128).area_um2 /
+                     birrdAreaPower(64).area_um2;
+    EXPECT_GT(r, 2.0);
+    EXPECT_LT(r, 2.5);
+}
+
+TEST(ReductionNetworks, BirrdShareOfDie)
+{
+    // Fig. 14b: BIRRD is ~4% of the 16x16 FEATHER die.
+    const double share = birrdAreaPower(16).area_um2 /
+                         featherDieModel(16, 16).area_um2;
+    EXPECT_GT(share, 0.025);
+    EXPECT_LT(share, 0.055);
+}
+
+TEST(TableV, ModelTracksPaperAreas)
+{
+    // The empirical die model reproduces every published shape within 12%.
+    for (const TableVRow &row : tableVPaperRows()) {
+        const AreaPower m = featherDieModel(row.aw, row.ah);
+        const double err =
+            std::abs(m.area_um2 - row.paper_area_um2) / row.paper_area_um2;
+        EXPECT_LT(err, 0.12) << row.aw << "x" << row.ah;
+    }
+}
+
+TEST(TableV, SevenShapes)
+{
+    EXPECT_EQ(tableVPaperRows().size(), 7u);
+}
+
+TEST(Fig14b, TotalsMatchPaperRatios)
+{
+    const DieBreakdown eyeriss = eyerissLike256Breakdown();
+    const DieBreakdown sigma = sigma256Breakdown();
+    const DieBreakdown feather = feather256Breakdown();
+
+    // §VI-D2: SIGMA is 2.93x FEATHER; abstract: +6% over Eyeriss-like.
+    EXPECT_NEAR(sigma.totalMm2() / feather.totalMm2(), 2.93, 0.03);
+    EXPECT_NEAR(feather.totalMm2() / eyeriss.totalMm2(), 1.06, 0.02);
+}
+
+TEST(Fig14b, BirrdIsFourPercent)
+{
+    EXPECT_NEAR(feather256Breakdown().share("Redn. NoC"), 0.04, 0.005);
+}
+
+TEST(Fig14b, ReductionNocSaving)
+{
+    // §VI-D1: one shared BIRRD saves ~94% vs SIGMA's per-row FANs.
+    const double feather_redn =
+        feather256Breakdown().share("Redn. NoC") *
+        feather256Breakdown().totalMm2();
+    const double sigma_redn =
+        sigma256Breakdown().share("Redn. NoC") * sigma256Breakdown().totalMm2();
+    EXPECT_NEAR(1.0 - feather_redn / sigma_redn, 0.94, 0.01);
+}
+
+TEST(Fig14b, ComponentsArePositive)
+{
+    for (const auto &bd :
+         {eyerissLike256Breakdown(), sigma256Breakdown(),
+          feather256Breakdown()}) {
+        EXPECT_EQ(bd.components.size(), 6u);
+        for (const auto &c : bd.components) {
+            EXPECT_GT(c.area_mm2, 0.0) << bd.design << "/" << c.name;
+        }
+    }
+}
+
+TEST(DieModel, GrowsWithWidthFasterThanHeight)
+{
+    // The fitted AW term: widening the array (more BIRRD, wider buses,
+    // more StaB banks) costs more than deepening it.
+    const double wide = featherDieModel(32, 16).area_um2;
+    const double tall = featherDieModel(16, 32).area_um2;
+    EXPECT_GT(wide, tall);
+}
+
+} // namespace
+} // namespace feather

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the baseline design points (Tab. IV) and the systolic-array
+ * analysis behind Fig. 4 and Fig. 10.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/arch_zoo.hpp"
+#include "baselines/systolic_array.hpp"
+
+namespace feather {
+namespace {
+
+TEST(ArchZoo, Fig13DesignCount)
+{
+    // Conv: NVDLA, Eyeriss, SIGMA(C32), SIGMA(C4W8), SIGMA(off-chip),
+    // Medusa, MTIA, TPU, FEATHER = 9 (matches Fig. 13's x-axis).
+    EXPECT_EQ(fig13DesignPoints(WorkloadKind::Conv).size(), 9u);
+    // GEMM (BERT): one fixed-layout SIGMA entry -> 8.
+    EXPECT_EQ(fig13DesignPoints(WorkloadKind::Gemm).size(), 8u);
+}
+
+TEST(ArchZoo, FlexibilityMatchesTable4)
+{
+    EXPECT_FALSE(nvdlaLike(WorkloadKind::Conv).flex.parallelism);
+    EXPECT_FALSE(nvdlaLike(WorkloadKind::Conv).flex.shape);
+    EXPECT_TRUE(eyerissLike(WorkloadKind::Conv).flex.shape);
+    EXPECT_FALSE(eyerissLike(WorkloadKind::Conv).flex.parallelism);
+    EXPECT_TRUE(featherArch(WorkloadKind::Conv).flex.parallelism);
+    EXPECT_EQ(featherArch(WorkloadKind::Conv).reorder,
+              ReorderCapability::Rir);
+    EXPECT_EQ(sigmaLikeOffChip(WorkloadKind::Conv).reorder,
+              ReorderCapability::OffChip);
+    EXPECT_EQ(medusaLike(WorkloadKind::Conv).reorder,
+              ReorderCapability::LineRotation);
+    EXPECT_EQ(mtiaLike(WorkloadKind::Conv).reorder,
+              ReorderCapability::Transpose);
+    EXPECT_EQ(tpuLike(WorkloadKind::Conv).reorder,
+              ReorderCapability::TransposeRowReorder);
+}
+
+TEST(ArchZoo, DeviceModelsPeCounts)
+{
+    EXPECT_EQ(gemminiLike().numPes(), 256);
+    EXPECT_EQ(xilinxDpuLike().numPes(), 1152);
+    EXPECT_EQ(edgeTpuLike().numPes(), 1024);
+}
+
+TEST(ArchZoo, FeatherLayoutsSpanPaperSpace)
+{
+    EXPECT_EQ(featherArch(WorkloadKind::Conv).layouts.size(), 7u);
+    EXPECT_EQ(featherArch(WorkloadKind::Gemm).layouts.size(), 3u);
+}
+
+TEST(SystolicArray, GemmUtilizationFig10)
+{
+    // Fig. 10 shapes on the 4x4 weight-stationary SA.
+    EXPECT_DOUBLE_EQ(saGemmUtilization({8, 4, 8}, 4, 4), 1.0);    // A
+    EXPECT_DOUBLE_EQ(saGemmUtilization({6, 8, 2}, 4, 4), 0.5);    // B
+    EXPECT_DOUBLE_EQ(saGemmUtilization({8, 3, 12}, 4, 4), 0.75);  // C
+    EXPECT_DOUBLE_EQ(saGemmUtilization({4, 1, 16}, 4, 4), 0.25);  // D
+}
+
+TEST(SystolicArray, UtilizationNeverExceedsOne)
+{
+    for (int64_t k = 1; k <= 20; ++k) {
+        for (int64_t n = 1; n <= 20; ++n) {
+            const double u = saGemmUtilization({8, n, k}, 4, 4);
+            EXPECT_GT(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(SystolicArray, Fig4M7Table)
+{
+    // ResNet-50 layer 47, D1 (C-parallel-4), row-major HCW_W8: every cycle
+    // touches 4 lines of one bank -> access takes 2 cycles, practical
+    // utilization halves (the paper's 0.5 slowdown).
+    LayerSpec layer;
+    layer.type = OpType::Conv;
+    layer.conv = ConvShape{1, 2048, 7, 7, 512, 3, 3, 1, 1, false};
+
+    Mapping d1;
+    d1.cols = {{Dim::C, 4}};
+    d1.rows = {{Dim::M, 4}};
+
+    const BoundLayout bl(Layout::parse("HCW_W8"), iactExtents(layer));
+    BufferSpec buf;
+    buf.num_lines = bl.numLines();
+    buf.line_size = bl.lineSize();
+    buf.lines_per_bank = bl.numLines(); // single bank: worst case
+    const SaAnalysis a = analyzeSaMapping(layer, d1, bl, buf, 16);
+
+    EXPECT_NEAR(a.avg_slowdown, 2.0, 0.2);
+    EXPECT_NEAR(a.practical_util, a.theoretical_util / 2.0,
+                a.theoretical_util * 0.1);
+    ASSERT_FALSE(a.rows.empty());
+}
+
+TEST(SystolicArray, Fig4M5Table)
+{
+    // Same dataflow under channel-last: concordant, no slowdown.
+    LayerSpec layer;
+    layer.type = OpType::Conv;
+    layer.conv = ConvShape{1, 2048, 7, 7, 512, 3, 3, 1, 1, false};
+
+    Mapping d1;
+    d1.cols = {{Dim::C, 4}};
+    d1.rows = {{Dim::M, 4}};
+
+    const BoundLayout bl(Layout::parse("HWC_C8"), iactExtents(layer));
+    BufferSpec buf;
+    buf.num_lines = bl.numLines();
+    buf.line_size = bl.lineSize();
+    buf.lines_per_bank = bl.numLines();
+    const SaAnalysis a = analyzeSaMapping(layer, d1, bl, buf, 16);
+
+    EXPECT_DOUBLE_EQ(a.avg_slowdown, 1.0);
+    EXPECT_NEAR(a.lines_per_cycle, 1.0, 0.01)
+        << "one line per cycle: best memory efficiency (M5)";
+}
+
+TEST(SystolicArray, RowsDescribeIacts)
+{
+    LayerSpec layer;
+    layer.type = OpType::Conv;
+    layer.conv = ConvShape{1, 8, 8, 8, 8, 1, 1, 1, 0, false};
+    Mapping d1;
+    d1.cols = {{Dim::C, 4}};
+    const BoundLayout bl(Layout::parse("HWC_C8"), iactExtents(layer));
+    BufferSpec buf;
+    buf.num_lines = bl.numLines();
+    buf.line_size = bl.lineSize();
+    buf.lines_per_bank = 8;
+    const SaAnalysis a = analyzeSaMapping(layer, d1, bl, buf, 4);
+    ASSERT_EQ(a.rows.size(), 4u);
+    EXPECT_NE(a.rows[0].iacts.find("C0:3"), std::string::npos)
+        << "got: " << a.rows[0].iacts;
+}
+
+} // namespace
+} // namespace feather

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, RNG determinism, statistics,
+ * and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace feather {
+namespace {
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_TRUE(isPow2(uint64_t{1} << 40));
+}
+
+TEST(Bits, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(16), 4u);
+    EXPECT_EQ(log2Exact(1024), 10u);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(17), 5u);
+}
+
+TEST(Bits, NextPow2)
+{
+    EXPECT_EQ(nextPow2(0), 1u);
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(16), 16u);
+    EXPECT_EQ(nextPow2(17), 32u);
+}
+
+TEST(Bits, CeilDivRoundUp)
+{
+    EXPECT_EQ(ceilDiv(7, 2), 4);
+    EXPECT_EQ(ceilDiv(8, 2), 4);
+    EXPECT_EQ(ceilDiv(int64_t{0}, int64_t{5}), 0);
+    EXPECT_EQ(roundUp(7, 4), 8);
+    EXPECT_EQ(roundUp(8, 4), 8);
+}
+
+TEST(Bits, ReverseBitsMatchesAlgorithm1)
+{
+    // Worked examples from Alg. 1 semantics: reverse low `range` bits only.
+    EXPECT_EQ(reverseBits(0b000, 3), 0b000u);
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b011, 3), 0b110u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    // Higher bits are preserved.
+    EXPECT_EQ(reverseBits(0b1001, 3), 0b1100u);
+    // Range 1 is the identity.
+    for (uint32_t v = 0; v < 8; ++v) {
+        EXPECT_EQ(reverseBits(v, 1), v);
+    }
+}
+
+TEST(Bits, ReverseBitsIsInvolution)
+{
+    for (uint32_t range = 1; range <= 6; ++range) {
+        for (uint32_t v = 0; v < 64; ++v) {
+            EXPECT_EQ(reverseBits(reverseBits(v, range), range), v);
+        }
+    }
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(13), 13u);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= (v == -3);
+        hit_hi |= (v == 3);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double acc = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        acc += u;
+    }
+    EXPECT_NEAR(acc / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, MeanGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, SumMinMax)
+{
+    EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.0}), 6.0);
+    EXPECT_DOUBLE_EQ(maxOf({1.0, 5.0, 3.0}), 5.0);
+    EXPECT_DOUBLE_EQ(minOf({1.0, 5.0, 3.0}), 1.0);
+}
+
+TEST(Stats, RunningStat)
+{
+    RunningStat s;
+    s.add(2.0);
+    s.add(6.0);
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.total(), 12.0);
+}
+
+TEST(Table, RendersAlignedAndCsv)
+{
+    Table t({"design", "latency"});
+    t.addRow({"FEATHER", "1.00x"});
+    t.addRow({"NVDLA-like", "2.00x"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("FEATHER"), std::string::npos);
+    EXPECT_NE(s.find("NVDLA-like"), std::string::npos);
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("design,latency"), std::string::npos);
+    EXPECT_NE(csv.find("FEATHER,1.00x"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtRatio(2.654, 2), "2.65x");
+    EXPECT_EQ(fmtPercent(0.983, 1), "98.3%");
+}
+
+TEST(Log, StrCat)
+{
+    EXPECT_EQ(strCat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(strCat(), "");
+}
+
+} // namespace
+} // namespace feather

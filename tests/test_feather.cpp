@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Integration tests for the FEATHER accelerator: bit-exact numerics against
+ * the reference operators, RIR layout switching, stall accounting, and the
+ * Fig. 9 / Fig. 11 walkthroughs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "feather/accelerator.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace feather {
+namespace {
+
+FeatherConfig
+smallConfig(int aw, int ah)
+{
+    FeatherConfig cfg;
+    cfg.aw = aw;
+    cfg.ah = ah;
+    cfg.stab_depth = 65536;
+    return cfg;
+}
+
+LayerSpec
+convLayer(int64_t c, int64_t hw, int64_t m, int64_t rs, int64_t stride,
+          int64_t pad)
+{
+    LayerSpec l;
+    l.name = "conv";
+    l.type = OpType::Conv;
+    l.conv = ConvShape{1, c, hw, hw, m, rs, rs, stride, pad, false};
+    return l;
+}
+
+/** Run a conv on FEATHER and compare against conv2d + requantize. */
+void
+checkConv(const LayerSpec &layer, const NestMapping &mapping,
+          const char *in_layout, const char *out_layout, uint64_t seed)
+{
+    Rng rng(seed);
+    const ConvShape &cs = layer.conv;
+    Int8Tensor iacts({1, cs.c, cs.h, cs.w});
+    Int8Tensor weights({cs.m, cs.c, cs.r, cs.s});
+    iacts.randomize(rng, -50, 50);
+    weights.randomize(rng, -50, 50);
+
+    LayerQuant quant;
+    quant.iact_zp = 3;
+    quant.weight_zp = -2;
+    quant.oact_zp = 1;
+    quant.multiplier = 0.05f;
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(iacts, Layout::parse(in_layout));
+    const LayerStats stats = acc.run(layer, weights, mapping,
+                                     Layout::parse(out_layout), quant);
+    const Int8Tensor got = acc.readActivations();
+
+    const Int32Tensor ref_acc =
+        conv2d(iacts, weights, cs.stride, cs.pad, quant.iact_zp,
+               quant.weight_zp);
+    const Int8Tensor ref =
+        requantizeTensor(ref_acc, quant.multiplier, quant.oact_zp);
+
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[size_t(i)], ref[size_t(i)])
+            << "mismatch at flat index " << i << " (" << in_layout << " -> "
+            << out_layout << ")";
+    }
+    EXPECT_GT(stats.macs, 0);
+    EXPECT_GT(stats.cycles, 0);
+}
+
+TEST(Feather, ConvBitExactCanonicalMapping)
+{
+    const LayerSpec layer = convLayer(4, 6, 8, 3, 1, 1);
+    checkConv(layer, NestMapping::canonical(layer, 4, 4), "HWC_C4",
+              "HWC_C4", 11);
+}
+
+TEST(Feather, ConvBitExactFig9Mapping)
+{
+    // Fig. 9: C2 x M2 across columns, M4 across rows, 2x2 weights local.
+    const LayerSpec layer = convLayer(2, 5, 8, 2, 1, 0);
+    NestMapping m;
+    m.cols = {{Dim::C, 2}, {Dim::M, 2}};
+    m.rows = {{Dim::M, 4}};
+    m.local = {{Dim::R, 2}, {Dim::S, 2}};
+    checkConv(layer, m, "HWC_C2", "HWC_C4", 12);
+}
+
+TEST(Feather, ConvLayoutSwitchRIR)
+{
+    // Channel-last in, row-major out (the Fig. 11 switch), and the reverse.
+    const LayerSpec layer = convLayer(4, 6, 8, 3, 1, 1);
+    const NestMapping m = NestMapping::canonical(layer, 4, 4);
+    checkConv(layer, m, "HWC_C4", "CHW_W4", 13);
+    checkConv(layer, m, "CHW_W4", "HWC_C4", 14);
+    checkConv(layer, m, "HCW_W8", "HWC_C2W2", 15);
+}
+
+TEST(Feather, ConvStride2WithPadding)
+{
+    const LayerSpec layer = convLayer(3, 9, 8, 3, 2, 1);
+    checkConv(layer, NestMapping::canonical(layer, 4, 4), "HWC_C4",
+              "HWC_C4", 16);
+}
+
+TEST(Feather, Conv1x1)
+{
+    const LayerSpec layer = convLayer(8, 5, 16, 1, 1, 0);
+    checkConv(layer, NestMapping::canonical(layer, 4, 4), "HWC_C4",
+              "HWC_C4", 17);
+}
+
+TEST(Feather, ConvNonDivisibleEdges)
+{
+    // C=3 and M=5 leave idle columns/rows on edge tiles.
+    const LayerSpec layer = convLayer(3, 7, 5, 3, 1, 1);
+    checkConv(layer, NestMapping::canonical(layer, 4, 4), "HWC_C4",
+              "HWC_C4", 18);
+}
+
+TEST(Feather, GemmBitExact)
+{
+    LayerSpec layer;
+    layer.type = OpType::Gemm;
+    layer.gemm = GemmShape{8, 6, 32};
+
+    Rng rng(21);
+    Int8Tensor a({8, 32});
+    Int8Tensor b({32, 6});
+    a.randomize(rng, -40, 40);
+    b.randomize(rng, -40, 40);
+
+    LayerQuant quant;
+    quant.iact_zp = -1;
+    quant.weight_zp = 2;
+    quant.oact_zp = 0;
+    quant.multiplier = 0.02f;
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(a, Layout::parse("MK_K4"));
+    const NestMapping m = NestMapping::canonical(layer, 4, 4);
+    acc.run(layer, b, m, Layout::parse("MK_K4"), quant);
+    const Int8Tensor got = acc.readActivations();
+
+    const Int8Tensor ref = requantizeTensor(
+        gemm(a, b, quant.iact_zp, quant.weight_zp), quant.multiplier,
+        quant.oact_zp);
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[size_t(i)], ref[size_t(i)]) << "flat " << i;
+    }
+}
+
+TEST(Feather, GemmReductionAcrossRows)
+{
+    // Fig. 10 workload D: K spans the whole array; rows accumulate in OB.
+    LayerSpec layer;
+    layer.type = OpType::Gemm;
+    layer.gemm = GemmShape{4, 3, 64};
+
+    Rng rng(22);
+    Int8Tensor a({4, 64});
+    Int8Tensor b({64, 3});
+    a.randomize(rng, -30, 30);
+    b.randomize(rng, -30, 30);
+
+    NestMapping m;
+    m.local = {{Dim::K, 4}};
+    m.cols = {{Dim::K, 4}};
+    m.rows = {{Dim::K, 4}}; // further K split across rows -> OB reduce
+    LayerQuant quant;
+    quant.multiplier = 0.01f;
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(a, Layout::parse("MK_K4"));
+    acc.run(layer, b, m, Layout::parse("MK_K4"), quant);
+    const Int8Tensor got = acc.readActivations();
+
+    const Int8Tensor ref =
+        requantizeTensor(gemm(a, b, 0, 0), quant.multiplier, 0);
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[size_t(i)], ref[size_t(i)]) << "flat " << i;
+    }
+}
+
+TEST(Feather, DepthwiseBitExact)
+{
+    LayerSpec layer;
+    layer.type = OpType::DepthwiseConv;
+    layer.conv = ConvShape{1, 8, 6, 6, 8, 3, 3, 1, 1, true};
+
+    Rng rng(23);
+    Int8Tensor iacts({1, 8, 6, 6});
+    Int8Tensor weights({8, 1, 3, 3});
+    iacts.randomize(rng, -50, 50);
+    weights.randomize(rng, -50, 50);
+
+    LayerQuant quant;
+    quant.iact_zp = 5;
+    quant.multiplier = 0.1f;
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
+    const NestMapping m = NestMapping::canonical(layer, 4, 4);
+    acc.run(layer, weights, m, Layout::parse("HWC_C4"), quant);
+    const Int8Tensor got = acc.readActivations();
+
+    const Int8Tensor ref = requantizeTensor(
+        depthwiseConv2d(iacts, weights, 1, 1, quant.iact_zp, 0),
+        quant.multiplier, 0);
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[size_t(i)], ref[size_t(i)]) << "flat " << i;
+    }
+}
+
+TEST(Feather, TwoLayerChainThroughPingPong)
+{
+    // Layer 1 writes oActs in layer 2's concordant layout; layer 2 consumes
+    // them without any reload — the core RIR co-switching claim (§IV).
+    Rng rng(31);
+    const LayerSpec l1 = convLayer(4, 6, 8, 3, 1, 1);
+    LayerSpec l2 = convLayer(8, 6, 4, 1, 1, 0);
+
+    Int8Tensor iacts({1, 4, 6, 6});
+    Int8Tensor w1({8, 4, 3, 3});
+    Int8Tensor w2({4, 8, 1, 1});
+    iacts.randomize(rng, -30, 30);
+    w1.randomize(rng, -30, 30);
+    w2.randomize(rng, -30, 30);
+
+    LayerQuant q1;
+    q1.multiplier = 0.03f;
+    q1.oact_zp = 2;
+    LayerQuant q2;
+    q2.iact_zp = 2; // layer 2 consumes layer 1's zero point
+    q2.multiplier = 0.04f;
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
+    acc.run(l1, w1, NestMapping::canonical(l1, 4, 4),
+            Layout::parse("CHW_W4"), q1);
+    acc.run(l2, w2, NestMapping::canonical(l2, 4, 4),
+            Layout::parse("HWC_C4"), q2);
+    const Int8Tensor got = acc.readActivations();
+
+    const Int8Tensor mid = requantizeTensor(
+        conv2d(iacts, w1, 1, 1, 0, 0), q1.multiplier, q1.oact_zp);
+    const Int8Tensor ref = requantizeTensor(
+        conv2d(mid, w2, 1, 0, q2.iact_zp, 0), q2.multiplier, 0);
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[size_t(i)], ref[size_t(i)]) << "flat " << i;
+    }
+}
+
+TEST(Feather, ConcordantLayoutHasNoReadStalls)
+{
+    // Channel-parallel columns + channel-last layout: one line per cycle.
+    const LayerSpec layer = convLayer(8, 6, 8, 3, 1, 1);
+    NestMapping m;
+    m.cols = {{Dim::C, 4}};
+    m.rows = {{Dim::M, 4}};
+    m.local = {{Dim::R, 3}, {Dim::S, 3}};
+
+    Rng rng(41);
+    Int8Tensor iacts({1, 8, 6, 6});
+    Int8Tensor weights({8, 8, 3, 3});
+    iacts.randomize(rng, -20, 20);
+    weights.randomize(rng, -20, 20);
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
+    const LayerStats stats =
+        acc.run(layer, weights, m, Layout::parse("HWC_C4"), LayerQuant{});
+    EXPECT_EQ(stats.read_stall_cycles, 0)
+        << "channel-last is concordant with channel-parallel";
+    EXPECT_EQ(stats.write_stall_cycles, 0);
+}
+
+TEST(Feather, DiscordantLayoutStalls)
+{
+    // Same dataflow under a row-major layout: the four channels of a pixel
+    // live in four lines of the same bank column -> stalls (Fig. 4-M7).
+    const LayerSpec layer = convLayer(8, 6, 8, 3, 1, 1);
+    NestMapping m;
+    m.cols = {{Dim::C, 4}};
+    m.rows = {{Dim::M, 4}};
+    m.local = {{Dim::R, 3}, {Dim::S, 3}};
+
+    Rng rng(42);
+    Int8Tensor iacts({1, 8, 6, 6});
+    Int8Tensor weights({8, 8, 3, 3});
+    iacts.randomize(rng, -20, 20);
+    weights.randomize(rng, -20, 20);
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(iacts, Layout::parse("HCW_W4"));
+    const LayerStats stats =
+        acc.run(layer, weights, m, Layout::parse("HWC_C4"), LayerQuant{});
+    EXPECT_GT(stats.read_stall_cycles, 0)
+        << "row-major is discordant with channel-parallel";
+}
+
+TEST(Feather, UtilizationNearFullWhenBalanced)
+{
+    // t1 (9) >= AH (4) and shapes divide evenly: utilization should be
+    // dominated by the C=8-on-4-columns reduction split (100% occupancy).
+    const LayerSpec layer = convLayer(8, 8, 16, 3, 1, 1);
+    NestMapping m;
+    m.cols = {{Dim::C, 4}};
+    m.rows = {{Dim::M, 4}};
+    m.local = {{Dim::R, 3}, {Dim::S, 3}};
+
+    Rng rng(43);
+    Int8Tensor iacts({1, 8, 8, 8});
+    Int8Tensor weights({16, 8, 3, 3});
+    iacts.randomize(rng, -10, 10);
+    weights.randomize(rng, -10, 10);
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
+    const LayerStats stats =
+        acc.run(layer, weights, m, Layout::parse("HWC_C4"), LayerQuant{});
+    // Padding zeros count as issued-but-useless MACs in `macs`? No: macs
+    // counts executed MACs including zero-padded taps, so utilization here
+    // reflects only pipeline fill and weight-load overheads.
+    EXPECT_GT(stats.utilization(16), 0.85);
+}
+
+TEST(Feather, TraceRecordsReadsAndWrites)
+{
+    const LayerSpec layer = convLayer(4, 4, 4, 1, 1, 0);
+    Rng rng(44);
+    Int8Tensor iacts({1, 4, 4, 4});
+    Int8Tensor weights({4, 4, 1, 1});
+    iacts.randomize(rng, -10, 10);
+    weights.randomize(rng, -10, 10);
+
+    FeatherAccelerator acc(smallConfig(4, 4));
+    acc.enableTrace(64);
+    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
+    acc.run(layer, weights, NestMapping::canonical(layer, 4, 4),
+            Layout::parse("CHW_W4"), LayerQuant{});
+    bool saw_read = false, saw_write = false;
+    for (const auto &ev : acc.trace()) {
+        saw_read |= ev.kind == TraceEvent::Kind::StabRead;
+        saw_write |= ev.kind == TraceEvent::Kind::StabWrite;
+    }
+    EXPECT_TRUE(saw_read);
+    EXPECT_TRUE(saw_write);
+}
+
+/** Property sweep: random shapes x layout pairs stay bit-exact. */
+class FeatherConvSweep
+    : public ::testing::TestWithParam<std::tuple<int, const char *,
+                                                 const char *>>
+{
+};
+
+TEST_P(FeatherConvSweep, BitExact)
+{
+    const auto [seed, in_layout, out_layout] = GetParam();
+    Rng rng(uint64_t(seed) * 977);
+    const int64_t c = 1 + int64_t(rng.below(8));
+    const int64_t hw = 4 + int64_t(rng.below(5));
+    const int64_t m = 1 + int64_t(rng.below(12));
+    const int64_t rs = 1 + 2 * int64_t(rng.below(2)); // 1 or 3
+    const int64_t stride = 1 + int64_t(rng.below(2));
+    const LayerSpec layer = convLayer(c, hw, m, rs, stride, (rs - 1) / 2);
+    checkConv(layer, NestMapping::canonical(layer, 4, 4), in_layout,
+              out_layout, uint64_t(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeatherConvSweep,
+    ::testing::Values(
+        std::make_tuple(1, "HWC_C4", "HWC_C4"),
+        std::make_tuple(2, "HWC_C4", "CHW_W4"),
+        std::make_tuple(3, "CHW_W4", "HWC_C4"),
+        std::make_tuple(4, "HCW_W8", "HWC_C4"),
+        std::make_tuple(5, "HWC_C2W2", "WHC_C4"),
+        std::make_tuple(6, "HWC_C4", "HCW_W4"),
+        std::make_tuple(7, "CHW_W4", "CHW_W4"),
+        std::make_tuple(8, "HWC_C4", "HWC_C2W2")));
+
+} // namespace
+} // namespace feather

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for src/layout: the layout grammar of Fig. 3 and the
+ * coordinate -> (line, slot) address map, including the paper's worked
+ * examples (channel-last HWC_C4, row-major HCW_W8, CHW_W4H2C2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "layout/layout.hpp"
+
+namespace feather {
+namespace {
+
+Extents
+chwExtents(int64_t c, int64_t h, int64_t w)
+{
+    Extents e;
+    e[Dim::C] = c;
+    e[Dim::H] = h;
+    e[Dim::W] = w;
+    return e;
+}
+
+Coord
+chw(int64_t c, int64_t h, int64_t w)
+{
+    Coord x;
+    x[Dim::C] = c;
+    x[Dim::H] = h;
+    x[Dim::W] = w;
+    return x;
+}
+
+TEST(Layout, ParsePrintRoundTrip)
+{
+    for (const char *name :
+         {"HWC_C32", "HCW_W8", "CHW_W4H2C2", "HWC_C4W8", "MK_K32",
+          "MK_M4K8", "HWC_W2C3"}) {
+        EXPECT_EQ(Layout::parse(name).toString(), name);
+    }
+}
+
+TEST(Layout, LineSizeAndIntraSize)
+{
+    const Layout l = Layout::parse("CHW_W4H2C2");
+    EXPECT_EQ(l.lineSize(), 16);
+    EXPECT_EQ(l.intraSize(Dim::W), 4);
+    EXPECT_EQ(l.intraSize(Dim::H), 2);
+    EXPECT_EQ(l.intraSize(Dim::C), 2);
+    EXPECT_EQ(l.intraSize(Dim::M), 1);
+}
+
+TEST(Layout, Fig3WorkedExample)
+{
+    // Paper Fig. 3: layer C56 H8 W8, layout CHW_W4H2C2.
+    // Line 0 holds W0:3 H0:1 C0:1 flattened W -> H -> C:
+    // slot order (w,h,c) = (0,0,0),(0,0,1),(0,1,0),(0,1,1),(1,0,0),...
+    const BoundLayout bl(Layout::parse("CHW_W4H2C2"), chwExtents(56, 8, 8));
+    EXPECT_EQ(bl.lineSize(), 16);
+    // 56/2 * 8/2 * 8/4 = 28*4*2 = 224 lines.
+    EXPECT_EQ(bl.numLines(), 224);
+
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 0)), (LineAddr{0, 0}));
+    EXPECT_EQ(bl.addrOf(chw(1, 0, 0)), (LineAddr{0, 1}));
+    EXPECT_EQ(bl.addrOf(chw(0, 1, 0)), (LineAddr{0, 2}));
+    EXPECT_EQ(bl.addrOf(chw(1, 1, 0)), (LineAddr{0, 3}));
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 1)), (LineAddr{0, 4}));
+    EXPECT_EQ(bl.addrOf(chw(1, 1, 3)), (LineAddr{0, 15}));
+
+    // Inter-line order C -> H -> W: the W-tile advances fastest.
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 4)).line, 1);   // next W tile
+    EXPECT_EQ(bl.addrOf(chw(0, 2, 0)).line, 2);   // next H tile
+    EXPECT_EQ(bl.addrOf(chw(2, 0, 0)).line, 8);   // next C tile: 4*2 lines
+}
+
+TEST(Layout, ChannelLastHwcC4)
+{
+    // Fig. 11 iActs: channel-last HWC_C4 with C=4: line = h*W + w.
+    const BoundLayout bl(Layout::parse("HWC_C4"), chwExtents(4, 3, 4));
+    EXPECT_EQ(bl.lineSize(), 4);
+    EXPECT_EQ(bl.numLines(), 12);
+    EXPECT_EQ(bl.addrOf(chw(2, 0, 0)), (LineAddr{0, 2}));
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 1)), (LineAddr{1, 0}));
+    EXPECT_EQ(bl.addrOf(chw(3, 1, 2)), (LineAddr{6, 3}));
+}
+
+TEST(Layout, RowMajorHcwW8)
+{
+    // Fig. 4 L2/L4 row-major: HCW_W8 flattens 8 W-elements per line;
+    // lines ordered H outer, C inner.
+    const BoundLayout bl(Layout::parse("HCW_W8"), chwExtents(3, 2, 16));
+    EXPECT_EQ(bl.lineSize(), 8);
+    EXPECT_EQ(bl.numLines(), 2 * 3 * 2);
+    // H0 C0 W0:7 -> line 0; H0 C0 W8:15 -> line 1; H0 C1 W0:7 -> line 2.
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 0)).line, 0);
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 8)).line, 1);
+    EXPECT_EQ(bl.addrOf(chw(1, 0, 0)).line, 2);
+    EXPECT_EQ(bl.addrOf(chw(0, 1, 0)).line, 6);
+    EXPECT_EQ(bl.addrOf(chw(0, 0, 5)).slot, 5);
+}
+
+TEST(Layout, InsightOneChannelParallelConflict)
+{
+    // Fig. 4-M7: channel-parallel dataflow needs H0W0C0:3 concurrently.
+    // Under row-major HCW_W8 those land in four different lines; under
+    // channel-last HWC_C4 they land in one line.
+    const Extents ext = chwExtents(2048, 7, 7);
+    const BoundLayout row_major(Layout::parse("HCW_W8"), ext);
+    const BoundLayout channel_last(Layout::parse("HWC_C4"), ext);
+
+    std::set<int64_t> rm_lines, cl_lines;
+    for (int64_t c = 0; c < 4; ++c) {
+        rm_lines.insert(row_major.addrOf(chw(c, 0, 0)).line);
+        cl_lines.insert(channel_last.addrOf(chw(c, 0, 0)).line);
+    }
+    EXPECT_EQ(rm_lines.size(), 4u);
+    EXPECT_EQ(cl_lines.size(), 1u);
+}
+
+TEST(Layout, AddrRoundTripExhaustive)
+{
+    // coordAt(addrOf(c)) == c for every element of a small tensor, for
+    // several layouts (property: the map is a bijection).
+    const Extents ext = chwExtents(4, 6, 8);
+    for (const char *name : {"HWC_C4", "HCW_W8", "CHW_W4H2C2", "HWC_C2W4"}) {
+        const BoundLayout bl(Layout::parse(name), ext);
+        std::set<std::pair<int64_t, int64_t>> seen;
+        for (int64_t c = 0; c < 4; ++c) {
+            for (int64_t h = 0; h < 6; ++h) {
+                for (int64_t w = 0; w < 8; ++w) {
+                    const LineAddr a = bl.addrOf(chw(c, h, w));
+                    EXPECT_GE(a.line, 0);
+                    EXPECT_LT(a.line, bl.numLines());
+                    EXPECT_GE(a.slot, 0);
+                    EXPECT_LT(a.slot, bl.lineSize());
+                    EXPECT_TRUE(seen.insert({a.line, a.slot}).second)
+                        << name << ": address collision";
+                    const Coord back = bl.coordAt(a);
+                    EXPECT_EQ(back[Dim::C], c) << name;
+                    EXPECT_EQ(back[Dim::H], h) << name;
+                    EXPECT_EQ(back[Dim::W], w) << name;
+                }
+            }
+        }
+    }
+}
+
+TEST(Layout, NonDivisibleExtentsPad)
+{
+    // C=3 under HWC_C4: one C-tile with one empty slot, like Fig. 4-L1/L3
+    // "Empty" slots for ResNet-50 layer 1 (C=3).
+    const BoundLayout bl(Layout::parse("HWC_C4"), chwExtents(3, 2, 2));
+    EXPECT_EQ(bl.numLines(), 4);
+    EXPECT_EQ(bl.addrOf(chw(2, 1, 1)), (LineAddr{3, 2}));
+}
+
+TEST(Layout, GemmLayouts)
+{
+    Extents ext;
+    ext[Dim::M] = 8;
+    ext[Dim::K] = 64;
+    const BoundLayout k32(Layout::parse("MK_K32"), ext);
+    EXPECT_EQ(k32.numLines(), 8 * 2);
+    Coord c;
+    c[Dim::M] = 1;
+    c[Dim::K] = 33;
+    EXPECT_EQ(k32.addrOf(c).line, 3);
+    EXPECT_EQ(k32.addrOf(c).slot, 1);
+
+    const BoundLayout m32(Layout::parse("MK_M32"), ext);
+    EXPECT_EQ(m32.numLines(), 1 * 64);
+    EXPECT_EQ(m32.addrOf(c).line, 33);
+    EXPECT_EQ(m32.addrOf(c).slot, 1);
+}
+
+TEST(Layout, SpacesMatchPaper)
+{
+    EXPECT_EQ(convLayoutSpace().size(), 7u);
+    EXPECT_EQ(gemmLayoutSpace().size(), 3u);
+    for (const auto &l : convLayoutSpace()) {
+        EXPECT_EQ(l.lineSize(), 32) << l.toString()
+            << ": paper's conv layouts all have 32-word lines";
+    }
+    for (const auto &l : gemmLayoutSpace()) {
+        EXPECT_EQ(l.lineSize(), 32) << l.toString();
+    }
+}
+
+} // namespace
+} // namespace feather

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the Layoutloop analytical model (§V): bank-conflict assessment
+ * per reorder capability, reorder overheads, and the (dataflow, layout)
+ * mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/arch_zoo.hpp"
+#include "layoutloop/evaluator.hpp"
+#include "layoutloop/mapper.hpp"
+
+namespace feather {
+namespace {
+
+LayerSpec
+resnetLayer1()
+{
+    LayerSpec l;
+    l.name = "resnet_l1";
+    l.type = OpType::Conv;
+    l.conv = ConvShape{1, 3, 224, 224, 64, 7, 7, 2, 3, false};
+    return l;
+}
+
+LayerSpec
+resnetDeepLayer()
+{
+    LayerSpec l;
+    l.name = "resnet_l47";
+    l.type = OpType::Conv;
+    l.conv = ConvShape{1, 2048, 7, 7, 512, 3, 3, 1, 1, false};
+    return l;
+}
+
+Mapping
+channelParallel16x16()
+{
+    Mapping m;
+    m.cols = {{Dim::C, 16}};
+    m.rows = {{Dim::M, 16}};
+    return m;
+}
+
+TEST(Evaluator, ConcordantChannelParallel)
+{
+    // C-parallel under HWC_C32: 16 channels of one pixel live in one line.
+    const ArchSpec arch = sigmaLikeFixed(WorkloadKind::Conv, "HWC_C32");
+    const EvalResult r = evaluateMapping(arch, resnetDeepLayer(),
+                                         channelParallel16x16(),
+                                         Layout::parse("HWC_C32"));
+    ASSERT_TRUE(r.valid);
+    EXPECT_DOUBLE_EQ(r.slowdown, 1.0);
+    EXPECT_EQ(r.stall_cycles, 0);
+    EXPECT_GT(r.practical_utilization, 0.99);
+}
+
+TEST(Evaluator, DiscordantChannelParallel)
+{
+    // Same dataflow under HWC_W32 (row-major lines): 16 channels live in
+    // 16 different lines -> heavy conflicts.
+    const ArchSpec arch = sigmaLikeFixed(WorkloadKind::Conv, "HWC_W32");
+    const EvalResult r = evaluateMapping(arch, resnetDeepLayer(),
+                                         channelParallel16x16(),
+                                         Layout::parse("HWC_W32"));
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.slowdown, 1.5);
+    EXPECT_GT(r.stall_cycles, 0);
+}
+
+TEST(Evaluator, UtilizationQuantization)
+{
+    // ResNet-50 layer 1 has C=3: a C16 unrolling runs at 3/16 occupancy.
+    const ArchSpec arch = nvdlaLike(WorkloadKind::Conv);
+    const EvalResult r = evaluateMapping(arch, resnetLayer1(),
+                                         channelParallel16x16(),
+                                         Layout::parse("HWC_C32"));
+    ASSERT_TRUE(r.valid);
+    EXPECT_NEAR(r.theoretical_utilization, 3.0 / 16.0, 1e-9);
+}
+
+TEST(Evaluator, LineRotationMitigatesThreeLineConflicts)
+{
+    // A mapping that touches exactly 3 lines per bank per cycle: dual-port
+    // alone -> 2 cycles; with line rotation (one extra effective port) ->
+    // 1 cycle.
+    LayerSpec layer = resnetDeepLayer();
+    Mapping m;
+    m.cols = {{Dim::C, 3}};
+    m.rows = {{Dim::M, 16}};
+
+    ArchSpec none = sigmaLikeFixed(WorkloadKind::Conv, "HWC_W32");
+    // Make the whole buffer one bank so the 3 lines always collide.
+    none.iact_buffer.lines_per_bank = none.iact_buffer.num_lines;
+    ArchSpec rot = none;
+    rot.name = "rot";
+    rot.reorder = ReorderCapability::LineRotation;
+
+    const Layout l = Layout::parse("HWC_W32");
+    const EvalResult r_none = evaluateMapping(none, layer, m, l);
+    const EvalResult r_rot = evaluateMapping(rot, layer, m, l);
+    ASSERT_TRUE(r_none.valid);
+    ASSERT_TRUE(r_rot.valid);
+    EXPECT_GT(r_none.slowdown, 1.5);
+    EXPECT_DOUBLE_EQ(r_rot.slowdown, 1.0);
+    // But rotation pays energy for the copied lines.
+    EXPECT_GT(r_rot.reorder_energy_pj, 0.0);
+}
+
+TEST(Evaluator, TransposeCollapsesColumnAccess)
+{
+    // W-parallel reads under HWC_C32 touch one line per W position but a
+    // single slot: a column access the MLU transpose can serve in 1 cycle.
+    LayerSpec layer = resnetDeepLayer();
+    Mapping m;
+    m.cols = {{Dim::Q, 16}};
+    m.rows = {{Dim::M, 16}};
+
+    ArchSpec none = sigmaLikeFixed(WorkloadKind::Conv, "HWC_C32");
+    none.iact_buffer.lines_per_bank = none.iact_buffer.num_lines;
+    ArchSpec mtia = none;
+    mtia.reorder = ReorderCapability::Transpose;
+
+    const Layout l = Layout::parse("HWC_C32");
+    const EvalResult r_none = evaluateMapping(none, layer, m, l);
+    const EvalResult r_mtia = evaluateMapping(mtia, layer, m, l);
+    EXPECT_GT(r_none.slowdown, 1.5);
+    EXPECT_DOUBLE_EQ(r_mtia.slowdown, 1.0);
+    // RAR through the MLU shows up as explicit reorder latency (Fig. 6b).
+    EXPECT_GT(r_mtia.reorder_cycles, 0);
+}
+
+TEST(Evaluator, OffChipReorderCostsEnergyAlways)
+{
+    const ArchSpec arch = sigmaLikeOffChip(WorkloadKind::Conv);
+    const EvalResult r = evaluateMapping(arch, resnetDeepLayer(),
+                                         channelParallel16x16(),
+                                         Layout::parse("HWC_C32"));
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.reorder_energy_pj, 0.0) << "DRAM round trip per layer";
+    // Compute-heavy layer at 128 B/cycle: latency fully hidden.
+    EXPECT_EQ(r.reorder_cycles, 0);
+}
+
+TEST(Evaluator, OffChipReorderExposedOnLowIntensityLayer)
+{
+    // A tiny depthwise-style layer: little compute, big activations.
+    LayerSpec l;
+    l.type = OpType::Conv;
+    l.conv = ConvShape{1, 256, 56, 56, 16, 1, 1, 1, 0, false};
+    ArchSpec arch = sigmaLikeOffChip(WorkloadKind::Conv);
+    arch.offchip_bytes_per_cycle = 4.0; // slow link exposes the reorder
+    Mapping m = channelParallel16x16();
+    const EvalResult r =
+        evaluateMapping(arch, l, m, Layout::parse("HWC_C32"));
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.reorder_cycles, 0);
+}
+
+TEST(Mapper, TOnlyDesignHasOneMapping)
+{
+    const Mapper mapper(nvdlaLike(WorkloadKind::Conv));
+    EXPECT_EQ(mapper.candidateMappings(resnetLayer1()).size(), 1u);
+}
+
+TEST(Mapper, ShapeFlexEnumeratesDegrees)
+{
+    const Mapper mapper(eyerissLike(WorkloadKind::Conv));
+    EXPECT_GT(mapper.candidateMappings(resnetLayer1()).size(), 4u);
+}
+
+TEST(Mapper, TopsDesignEnumeratesDims)
+{
+    const Mapper mapper(featherArch(WorkloadKind::Conv));
+    const auto cands = mapper.candidateMappings(resnetLayer1());
+    EXPECT_GT(cands.size(), 50u);
+}
+
+TEST(Mapper, LayoutChoiceRestrictedByReorder)
+{
+    const Mapper fixed(sigmaLikeFixed(WorkloadKind::Conv, "HWC_C32"));
+    EXPECT_EQ(fixed.candidateLayouts(resnetLayer1()).size(), 1u);
+    const Mapper rir(featherArch(WorkloadKind::Conv));
+    EXPECT_EQ(rir.candidateLayouts(resnetLayer1()).size(),
+              convLayoutSpace().size());
+}
+
+TEST(Mapper, FeatherFindsConflictFreePair)
+{
+    // §VI-C: FEATHER reaches peak utilization with zero conflict slowdown.
+    const Mapper mapper(featherArch(WorkloadKind::Conv));
+    for (const LayerSpec &layer : {resnetLayer1(), resnetDeepLayer()}) {
+        const EvalResult best = mapper.searchLayer(layer);
+        EXPECT_DOUBLE_EQ(best.slowdown, 1.0) << layer.toString();
+        EXPECT_EQ(best.stall_cycles, 0) << layer.toString();
+    }
+}
+
+TEST(Mapper, FeatherBeatsNvdlaOnLayer1)
+{
+    // NVDLA's fixed C16 parallelism wastes 13/16 of the array on C=3.
+    const EvalResult nv =
+        Mapper(nvdlaLike(WorkloadKind::Conv)).searchLayer(resnetLayer1());
+    const EvalResult fe =
+        Mapper(featherArch(WorkloadKind::Conv)).searchLayer(resnetLayer1());
+    EXPECT_LT(fe.total_cycles, nv.total_cycles);
+    EXPECT_GT(double(nv.total_cycles) / double(fe.total_cycles), 1.5);
+}
+
+TEST(Mapper, ModelEvalAggregates)
+{
+    std::vector<LayerSpec> model = {resnetLayer1(), resnetDeepLayer()};
+    model[1].repeat = 2;
+    const ModelEval eval =
+        Mapper(featherArch(WorkloadKind::Conv)).searchModel(model);
+    ASSERT_EQ(eval.layers.size(), 2u);
+    EXPECT_EQ(eval.totalMacs(),
+              model[0].macs() + 2 * model[1].macs());
+    EXPECT_EQ(eval.totalCycles(),
+              eval.layers[0].best.total_cycles +
+                  2 * eval.layers[1].best.total_cycles);
+    EXPECT_GT(eval.avgPracticalUtilization(), 0.0);
+}
+
+TEST(Mapper, GemmSearchWorks)
+{
+    LayerSpec l;
+    l.type = OpType::Gemm;
+    l.gemm = GemmShape{512, 768, 768};
+    const EvalResult r =
+        Mapper(featherArch(WorkloadKind::Gemm)).searchLayer(l);
+    ASSERT_TRUE(r.valid);
+    EXPECT_DOUBLE_EQ(r.slowdown, 1.0);
+    EXPECT_GT(r.practical_utilization, 0.99);
+}
+
+TEST(Energy, TableMonotonicity)
+{
+    EnergyTable t;
+    AccessCounts a;
+    a.macs = 1000;
+    const double base = totalEnergyPj(t, a, 32);
+    a.dram_words = 100;
+    EXPECT_GT(totalEnergyPj(t, a, 32), base + 1000.0)
+        << "DRAM must dominate small on-chip counts";
+}
+
+} // namespace
+} // namespace feather

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for src/tensor: tensor indexing, quantization semantics, and
+ * the golden reference operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/reference_ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace feather {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing)
+{
+    Int32Tensor t({2, 3, 4, 5});
+    EXPECT_EQ(t.numel(), 120);
+    EXPECT_EQ(t.rank(), 4u);
+    t.at4(1, 2, 3, 4) = 42;
+    EXPECT_EQ(t.at({1, 2, 3, 4}), 42);
+    EXPECT_EQ(t.offset({0, 0, 0, 1}), 1);
+    EXPECT_EQ(t.offset({0, 0, 1, 0}), 5);
+    EXPECT_EQ(t.offset({1, 0, 0, 0}), 60);
+}
+
+TEST(Tensor, At2)
+{
+    Int8Tensor t({3, 4});
+    t.at2(2, 1) = 7;
+    EXPECT_EQ(t.at({2, 1}), 7);
+}
+
+TEST(Tensor, EqualityAndRandomize)
+{
+    Rng rng(3);
+    Int8Tensor a({4, 4});
+    a.randomize(rng, -128, 127);
+    Int8Tensor b = a;
+    EXPECT_EQ(a, b);
+    b.at2(0, 0) = int8_t(b.at2(0, 0) + 1);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Quant, ClampToInt8)
+{
+    EXPECT_EQ(clampToInt8(-129), -128);
+    EXPECT_EQ(clampToInt8(-128), -128);
+    EXPECT_EQ(clampToInt8(127), 127);
+    EXPECT_EQ(clampToInt8(128), 127);
+    EXPECT_EQ(clampToInt8(0), 0);
+}
+
+TEST(Quant, QuantizeDequantizeRoundTrip)
+{
+    const QuantParams qp{0.5f, 3};
+    for (float v : {-10.0f, -0.25f, 0.0f, 0.25f, 7.5f}) {
+        const int8_t q = quantize(v, qp);
+        EXPECT_NEAR(dequantize(q, qp), v, qp.scale / 2 + 1e-6);
+    }
+}
+
+TEST(Quant, RequantizeRoundsHalfAwayFromZero)
+{
+    EXPECT_EQ(requantize(5, 0.1f, 0), 1);   // 0.5 -> 1
+    EXPECT_EQ(requantize(-5, 0.1f, 0), -1); // -0.5 -> -1
+    EXPECT_EQ(requantize(4, 0.1f, 0), 0);   // 0.4 -> 0
+    EXPECT_EQ(requantize(1000, 1.0f, 0), 127); // saturates
+    EXPECT_EQ(requantize(0, 1.0f, 5), 5);
+}
+
+TEST(RefOps, ConvOutDim)
+{
+    // ResNet-50 conv1: 224, k7, s2, p3 -> 112.
+    EXPECT_EQ(convOutDim(224, 7, 2, 3), 112);
+    EXPECT_EQ(convOutDim(7, 3, 1, 1), 7);
+    EXPECT_EQ(convOutDim(8, 2, 2, 0), 4);
+}
+
+TEST(RefOps, Conv1x1EqualsGemm)
+{
+    // A 1x1 convolution over HxW is a GEMM with K=C, N(out)=H*W.
+    Rng rng(17);
+    const int64_t c = 6, hw = 4, m = 5;
+    Int8Tensor iacts({1, c, hw, hw});
+    Int8Tensor weights({m, c, 1, 1});
+    iacts.randomize(rng, -20, 20);
+    weights.randomize(rng, -20, 20);
+
+    const Int32Tensor conv = conv2d(iacts, weights, 1, 0, 0, 0);
+
+    Int8Tensor a({m, c});
+    Int8Tensor b({c, hw * hw});
+    for (int64_t im = 0; im < m; ++im) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            a.at2(im, ic) = weights.at4(im, ic, 0, 0);
+        }
+    }
+    for (int64_t ic = 0; ic < c; ++ic) {
+        for (int64_t ih = 0; ih < hw; ++ih) {
+            for (int64_t iw = 0; iw < hw; ++iw) {
+                b.at2(ic, ih * hw + iw) = iacts.at4(0, ic, ih, iw);
+            }
+        }
+    }
+    const Int32Tensor g = gemm(a, b, 0, 0);
+    for (int64_t im = 0; im < m; ++im) {
+        for (int64_t ih = 0; ih < hw; ++ih) {
+            for (int64_t iw = 0; iw < hw; ++iw) {
+                EXPECT_EQ(conv.at4(0, im, ih, iw), g.at2(im, ih * hw + iw));
+            }
+        }
+    }
+}
+
+TEST(RefOps, ConvPaddingContributesZero)
+{
+    // With nonzero input zero-point, padded taps must add exactly zero.
+    Int8Tensor iacts({1, 1, 2, 2});
+    Int8Tensor weights({1, 1, 3, 3});
+    const int8_t zp = 10;
+    for (int64_t i = 0; i < iacts.numel(); ++i) iacts[size_t(i)] = zp;
+    for (int64_t i = 0; i < weights.numel(); ++i) weights[size_t(i)] = 1;
+    const Int32Tensor out = conv2d(iacts, weights, 1, 1, zp, 0);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        EXPECT_EQ(out[size_t(i)], 0) << "padded conv must cancel zp";
+    }
+}
+
+TEST(RefOps, DepthwiseMatchesPerChannelConv)
+{
+    Rng rng(23);
+    const int64_t c = 4, hw = 6;
+    Int8Tensor iacts({1, c, hw, hw});
+    Int8Tensor dw_weights({c, 1, 3, 3});
+    iacts.randomize(rng, -30, 30);
+    dw_weights.randomize(rng, -30, 30);
+
+    const Int32Tensor dw = depthwiseConv2d(iacts, dw_weights, 1, 1, 2, -1);
+
+    for (int64_t ic = 0; ic < c; ++ic) {
+        Int8Tensor one_in({1, 1, hw, hw});
+        Int8Tensor one_w({1, 1, 3, 3});
+        for (int64_t ih = 0; ih < hw; ++ih) {
+            for (int64_t iw = 0; iw < hw; ++iw) {
+                one_in.at4(0, 0, ih, iw) = iacts.at4(0, ic, ih, iw);
+            }
+        }
+        for (int64_t r = 0; r < 3; ++r) {
+            for (int64_t s = 0; s < 3; ++s) {
+                one_w.at4(0, 0, r, s) = dw_weights.at4(ic, 0, r, s);
+            }
+        }
+        const Int32Tensor ref = conv2d(one_in, one_w, 1, 1, 2, -1);
+        for (int64_t ih = 0; ih < hw; ++ih) {
+            for (int64_t iw = 0; iw < hw; ++iw) {
+                EXPECT_EQ(dw.at4(0, ic, ih, iw), ref.at4(0, 0, ih, iw));
+            }
+        }
+    }
+}
+
+TEST(RefOps, GemmSmallHandComputed)
+{
+    Int8Tensor a({2, 2});
+    Int8Tensor b({2, 2});
+    a.at2(0, 0) = 1; a.at2(0, 1) = 2;
+    a.at2(1, 0) = 3; a.at2(1, 1) = 4;
+    b.at2(0, 0) = 5; b.at2(0, 1) = 6;
+    b.at2(1, 0) = 7; b.at2(1, 1) = 8;
+    const Int32Tensor c = gemm(a, b, 0, 0);
+    EXPECT_EQ(c.at2(0, 0), 19);
+    EXPECT_EQ(c.at2(0, 1), 22);
+    EXPECT_EQ(c.at2(1, 0), 43);
+    EXPECT_EQ(c.at2(1, 1), 50);
+}
+
+TEST(RefOps, GemmZeroPoints)
+{
+    Int8Tensor a({1, 2});
+    Int8Tensor b({2, 1});
+    a.at2(0, 0) = 3; a.at2(0, 1) = 3;
+    b.at2(0, 0) = 4; b.at2(1, 0) = 4;
+    // (3-3)*(4-4) = 0 contributions.
+    const Int32Tensor c = gemm(a, b, 3, 4);
+    EXPECT_EQ(c.at2(0, 0), 0);
+}
+
+TEST(RefOps, ReluQuantized)
+{
+    Int8Tensor x({1, 4});
+    x.at2(0, 0) = -5; x.at2(0, 1) = 0; x.at2(0, 2) = 3; x.at2(0, 3) = 1;
+    const Int8Tensor y = reluQuantized(x, 1);
+    EXPECT_EQ(y.at2(0, 0), 1);
+    EXPECT_EQ(y.at2(0, 1), 1);
+    EXPECT_EQ(y.at2(0, 2), 3);
+    EXPECT_EQ(y.at2(0, 3), 1);
+}
+
+TEST(RefOps, MaxPool)
+{
+    Int8Tensor x({1, 1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i) x[size_t(i)] = int8_t(i);
+    const Int8Tensor y = maxPool2d(x, 2, 2, 0, -128);
+    EXPECT_EQ(y.dim(2), 2);
+    EXPECT_EQ(y.at4(0, 0, 0, 0), 5);
+    EXPECT_EQ(y.at4(0, 0, 0, 1), 7);
+    EXPECT_EQ(y.at4(0, 0, 1, 0), 13);
+    EXPECT_EQ(y.at4(0, 0, 1, 1), 15);
+}
+
+TEST(RefOps, AvgPoolGlobal)
+{
+    Int8Tensor x({1, 2, 2, 2});
+    // Channel 0: 1,2,3,4 (avg 2.5 -> rounds away from zero to 3 with zp 0).
+    x.at4(0, 0, 0, 0) = 1; x.at4(0, 0, 0, 1) = 2;
+    x.at4(0, 0, 1, 0) = 3; x.at4(0, 0, 1, 1) = 4;
+    // Channel 1: all -4.
+    x.at4(0, 1, 0, 0) = -4; x.at4(0, 1, 0, 1) = -4;
+    x.at4(0, 1, 1, 0) = -4; x.at4(0, 1, 1, 1) = -4;
+    const Int8Tensor y = avgPool2d(x, 2, 2, 0);
+    EXPECT_EQ(y.at4(0, 0, 0, 0), 3);
+    EXPECT_EQ(y.at4(0, 1, 0, 0), -4);
+}
+
+TEST(RefOps, RequantizeTensorShape)
+{
+    Int32Tensor acc({2, 2});
+    acc.at2(0, 0) = 100; acc.at2(0, 1) = -100;
+    acc.at2(1, 0) = 1000000; acc.at2(1, 1) = 0;
+    const Int8Tensor q = requantizeTensor(acc, 0.01f, 1);
+    EXPECT_EQ(q.at2(0, 0), 2);
+    EXPECT_EQ(q.at2(0, 1), 0);
+    EXPECT_EQ(q.at2(1, 0), 127);
+    EXPECT_EQ(q.at2(1, 1), 1);
+}
+
+} // namespace
+} // namespace feather
