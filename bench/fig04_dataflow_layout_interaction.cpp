@@ -18,37 +18,22 @@
 
 #include "baselines/systolic_array.hpp"
 #include "common/table.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
 namespace {
 
-struct Case
-{
-    const char *id;
-    const char *workload;
-    const char *dataflow;
-    const char *layout_name;
-};
-
 LayerSpec
 layer1()
 {
-    LayerSpec l;
-    l.name = "ResNet-50 layer 1";
-    l.type = OpType::Conv;
-    l.conv = ConvShape{1, 3, 224, 224, 64, 7, 7, 2, 3, false};
-    return l;
+    return sim::convLayer("ResNet-50 layer 1", 3, 224, 64, 7, 2, 3);
 }
 
 LayerSpec
 layer47()
 {
-    LayerSpec l;
-    l.name = "ResNet-50 layer 47";
-    l.type = OpType::Conv;
-    l.conv = ConvShape{1, 2048, 7, 7, 512, 3, 3, 1, 1, false};
-    return l;
+    return sim::convLayer("ResNet-50 layer 47", 2048, 7, 512, 3, 1, 1);
 }
 
 Mapping

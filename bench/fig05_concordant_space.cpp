@@ -20,6 +20,7 @@
 #include "baselines/arch_zoo.hpp"
 #include "common/table.hpp"
 #include "layoutloop/mapper.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
@@ -55,10 +56,9 @@ countConcordant(const ArchSpec &arch_in, const LayerSpec &layer)
 int
 main()
 {
-    LayerSpec layer;
-    layer.name = "ResNet-50 conv (C=256, 14x14, 3x3)";
-    layer.type = OpType::Conv;
-    layer.conv = ConvShape{1, 256, 14, 14, 256, 3, 3, 1, 1, false};
+    const LayerSpec layer =
+        sim::convLayer("ResNet-50 conv (C=256, 14x14, 3x3)", 256, 14, 256, 3,
+                       1, 1);
 
     const Mapper tops(featherArch(WorkloadKind::Conv));
     const int total = int(tops.candidateMappings(layer).size());

@@ -13,52 +13,32 @@
 
 #include <cstdio>
 
-#include "common/rng.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
-#include "feather/accelerator.hpp"
-#include "tensor/reference_ops.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
 int
 main()
 {
-    // The Fig. 9 workload: 4x4 iActs, C=2, 2x2 weights, M=16 kernels.
-    LayerSpec layer;
-    layer.name = "fig9";
-    layer.type = OpType::Conv;
-    layer.conv = ConvShape{1, 2, 4, 4, 16, 2, 2, 1, 0, false};
-
-    // Fig. 9 mapping: columns = C2 x M2, rows = M4, local = R2 x S2.
+    // The Fig. 9 workload: 4x4 iActs, C=2, 2x2 weights, M=16 kernels,
+    // under the figure's mapping: columns = C2 x M2, rows = M4, local =
+    // R2 x S2.
+    const LayerSpec layer = sim::convLayer("fig9", 2, 4, 16, 2, 1, 0);
     NestMapping m;
     m.cols = {{Dim::C, 2}, {Dim::M, 2}};
     m.rows = {{Dim::M, 4}};
     m.local = {{Dim::R, 2}, {Dim::S, 2}};
 
-    Rng rng(99);
-    Int8Tensor iacts({1, 2, 4, 4});
-    Int8Tensor weights({16, 2, 2, 2});
-    iacts.randomize(rng, -20, 20);
-    weights.randomize(rng, -20, 20);
-
-    FeatherConfig cfg;
-    cfg.aw = 4;
-    cfg.ah = 4;
-    FeatherAccelerator acc(cfg);
-    acc.loadIacts(iacts, Layout::parse("HWC_C2"));
-    LayerQuant quant;
-    quant.multiplier = 0.02f;
-    const LayerStats stats =
-        acc.run(layer, weights, m, Layout::parse("HWC_C4"), quant);
-
-    const Int8Tensor got = acc.readActivations();
-    const Int8Tensor ref = requantizeTensor(conv2d(iacts, weights, 1, 0, 0, 0),
-                                            quant.multiplier, 0);
-    int64_t mismatches = 0;
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-        if (got[size_t(i)] != ref[size_t(i)]) ++mismatches;
-    }
+    sim::RunOptions opts;
+    opts.aw = 4;
+    opts.ah = 4;
+    opts.seed = 99;
+    opts.mapping = m;
+    opts.in_layout = Layout::parse("HWC_C2");
+    opts.out_layout = Layout::parse("HWC_C4");
+    const sim::RunResult r = sim::runLayer(layer, opts);
 
     std::printf("=== Fig. 9: NEST pipeline walkthrough (4x4, C2M2 cols, M4 "
                 "rows, 2x2 local) ===\n");
@@ -69,17 +49,18 @@ main()
               "AH^2 = 16; later tiles hidden by ping-pong regs"});
     t.addRow({"BIRRD reduction", "4:2 per row emission",
               "C2 groups merge; M2 outputs per row"});
-    t.addRow({"total cycles", std::to_string(stats.cycles),
-              stats.toString()});
+    t.addRow({"total cycles", std::to_string(r.stats.cycles),
+              r.stats.toString()});
     t.addRow({"PE utilization",
-              fmtPercent(stats.utilization(cfg.aw * cfg.ah)),
+              fmtPercent(r.utilization(opts.aw, opts.ah)),
               "steady state: all PEs in Phase 1 or Phase 2"});
-    t.addRow({"read stalls", std::to_string(stats.read_stall_cycles),
+    t.addRow({"read stalls", std::to_string(r.stats.read_stall_cycles),
               "channel-last layout is concordant"});
-    t.addRow({"output-bus conflicts", std::to_string(stats.write_stall_cycles),
+    t.addRow({"output-bus conflicts",
+              std::to_string(r.stats.write_stall_cycles),
               "one row per cycle on the shared buses"});
-    t.addRow({"bit-exact vs reference", mismatches == 0 ? "yes" : "NO",
-              strCat(mismatches, " mismatching oActs")});
+    t.addRow({"bit-exact vs reference", r.bitExact() ? "yes" : "NO",
+              strCat(r.mismatches, " mismatching oActs")});
     std::printf("%s", t.toString().c_str());
-    return mismatches == 0 ? 0 : 1;
+    return r.bitExact() ? 0 : 1;
 }

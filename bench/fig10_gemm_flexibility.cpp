@@ -15,11 +15,9 @@
 
 #include "baselines/arch_zoo.hpp"
 #include "baselines/systolic_array.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
-#include "feather/accelerator.hpp"
 #include "layoutloop/mapper.hpp"
-#include "tensor/reference_ops.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
@@ -35,38 +33,21 @@ double
 featherCycleUtil(GemmShape g, const Layout &out_layout)
 {
     g.m *= 32;
-    LayerSpec layer;
-    layer.type = OpType::Gemm;
-    layer.gemm = g;
-
-    Rng rng(7);
-    Int8Tensor a({g.m, g.k});
-    Int8Tensor b({g.k, g.n});
-    a.randomize(rng, -20, 20);
-    b.randomize(rng, -20, 20);
-
-    FeatherConfig cfg;
-    cfg.aw = 4;
-    cfg.ah = 4;
-    FeatherAccelerator acc(cfg);
-    acc.loadIacts(a, Layout::parse("MK_K4"));
-    LayerQuant quant;
-    quant.multiplier = 0.01f;
-    const NestMapping m = NestMapping::canonical(layer, 4, 4);
-    const LayerStats stats = acc.run(layer, b, m, out_layout, quant);
-
-    // Validate numerics while we are here.
-    const Int8Tensor got = acc.readActivations();
-    const Int8Tensor ref =
-        requantizeTensor(gemm(a, b, 0, 0), quant.multiplier, 0);
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-        if (got[size_t(i)] != ref[size_t(i)]) {
-            std::fprintf(stderr, "numeric mismatch on %s\n",
-                         g.toString().c_str());
-            std::exit(1);
-        }
+    sim::RunOptions opts;
+    opts.aw = 4;
+    opts.ah = 4;
+    opts.seed = 7;
+    opts.in_layout = Layout::parse("MK_K4");
+    opts.out_layout = out_layout;
+    opts.quant.multiplier = 0.01f;
+    const sim::RunResult r =
+        sim::runLayer(sim::gemmLayer("fig10", g.m, g.n, g.k), opts);
+    if (!r.bitExact()) { // validate numerics while we are here
+        std::fprintf(stderr, "numeric mismatch on %s\n",
+                     g.toString().c_str());
+        std::exit(1);
     }
-    return stats.utilization(cfg.aw * cfg.ah);
+    return r.utilization(opts.aw, opts.ah);
 }
 
 } // namespace

@@ -11,11 +11,8 @@
 
 #include <cstdio>
 
-#include "common/rng.hpp"
-#include "common/log.hpp"
 #include "common/table.hpp"
-#include "feather/accelerator.hpp"
-#include "tensor/reference_ops.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
@@ -24,37 +21,26 @@ main()
 {
     // Fig. 11 workload: 4-channel iActs, M=4 kernels, 3x3 weights
     // (R0:1S0:1 in the figure; we use the full 2x2 for the same effect).
-    LayerSpec layer;
-    layer.name = "fig11";
-    layer.type = OpType::Conv;
-    layer.conv = ConvShape{1, 4, 6, 6, 4, 2, 2, 1, 0, false};
-
+    const LayerSpec layer = sim::convLayer("fig11", 4, 6, 4, 2, 1, 0);
     NestMapping m;
     m.cols = {{Dim::C, 4}};   // C-parallel columns: 4:1 BIRRD reduction
     m.rows = {{Dim::M, 4}};   // kernels across rows
     m.local = {{Dim::R, 2}, {Dim::S, 2}};
 
-    Rng rng(5);
-    Int8Tensor iacts({1, 4, 6, 6});
-    Int8Tensor weights({4, 4, 2, 2});
-    iacts.randomize(rng, -25, 25);
-    weights.randomize(rng, -25, 25);
-
-    FeatherConfig cfg;
-    cfg.aw = 4;
-    cfg.ah = 4;
-    FeatherAccelerator acc(cfg);
-    acc.enableTrace(24);
-    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
-    LayerQuant quant;
-    quant.multiplier = 0.02f;
-    const LayerStats stats =
-        acc.run(layer, weights, m, Layout::parse("CHW_W4"), quant);
+    sim::RunOptions opts;
+    opts.aw = 4;
+    opts.ah = 4;
+    opts.seed = 5;
+    opts.mapping = m;
+    opts.in_layout = Layout::parse("HWC_C4");
+    opts.out_layout = Layout::parse("CHW_W4");
+    opts.trace_events = 24;
+    const sim::RunResult r = sim::runLayer(layer, opts);
 
     std::printf("=== Fig. 11: RIR switches channel-last -> row-major during "
                 "reduction ===\n");
     Table t({"event", "step", "bank", "line"});
-    for (const auto &ev : acc.trace()) {
+    for (const auto &ev : r.trace) {
         t.addRow({ev.kind == TraceEvent::Kind::StabRead ? "StaB-Ping read"
                                                         : "StaB-Pong write",
                   std::to_string(ev.step), std::to_string(ev.bank),
@@ -62,23 +48,15 @@ main()
     }
     std::printf("%s", t.toString().c_str());
 
-    const Int8Tensor got = acc.readActivations();
-    const Int8Tensor ref = requantizeTensor(conv2d(iacts, weights, 1, 0, 0, 0),
-                                            quant.multiplier, 0);
-    int64_t mismatches = 0;
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-        if (got[size_t(i)] != ref[size_t(i)]) ++mismatches;
-    }
-
     std::printf("\nread stalls: %lld (paper: zero — reads are one line x 4 "
                 "banks per cycle)\n",
-                (long long)stats.read_stall_cycles);
+                (long long)r.stats.read_stall_cycles);
     std::printf("write stalls: %lld (paper: zero — 4 iActs reduce to 1 oAct "
                 "per bank)\n",
-                (long long)stats.write_stall_cycles);
+                (long long)r.stats.write_stall_cycles);
     std::printf("oActs bit-exact vs reference: %s\n",
-                mismatches == 0 ? "yes" : "NO");
+                r.bitExact() ? "yes" : "NO");
     std::printf("oActs now stored row-major (CHW_W4): the next layer "
                 "consumes them as its concordant iAct layout.\n");
-    return mismatches == 0 ? 0 : 1;
+    return r.bitExact() ? 0 : 1;
 }

@@ -15,24 +15,20 @@
 #include "baselines/arch_zoo.hpp"
 #include "common/table.hpp"
 #include "layoutloop/mapper.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
 int
 main(int argc, char **argv)
 {
-    LayerSpec layer;
-    layer.name = "cli_layer";
-    layer.type = OpType::Conv;
-    layer.conv = ConvShape{1, 256, 14, 14, 256, 3, 3, 1, 1, false};
+    LayerSpec layer = sim::convLayer("cli_layer", 256, 14, 256, 3, 1, 1);
     if (argc == 8) {
-        layer.conv.c = std::atoll(argv[1]);
-        layer.conv.h = std::atoll(argv[2]);
-        layer.conv.w = std::atoll(argv[3]);
-        layer.conv.m = std::atoll(argv[4]);
-        layer.conv.r = layer.conv.s = std::atoll(argv[5]);
-        layer.conv.stride = std::atoll(argv[6]);
-        layer.conv.pad = std::atoll(argv[7]);
+        layer = sim::convLayer2d("cli_layer", std::atoll(argv[1]),
+                                 std::atoll(argv[2]), std::atoll(argv[3]),
+                                 std::atoll(argv[4]), std::atoll(argv[5]),
+                                 std::atoll(argv[5]), std::atoll(argv[6]),
+                                 std::atoll(argv[7]));
     } else if (argc != 1) {
         std::fprintf(stderr, "usage: %s [C H W M R stride pad]\n", argv[0]);
         return 2;

@@ -4,14 +4,15 @@
  * the activation layout from channel-last to row-major *during* the
  * reduction (RIR), and check the result against a reference convolution.
  *
+ * All the mechanics (random inputs, accelerator setup, reference check)
+ * come from the shared sim driver; this file only picks the shapes.
+ *
  *   $ ./quickstart
  */
 
 #include <cstdio>
 
-#include "common/rng.hpp"
-#include "feather/accelerator.hpp"
-#include "tensor/reference_ops.hpp"
+#include "sim/driver.hpp"
 
 using namespace feather;
 
@@ -20,53 +21,34 @@ main()
 {
     // 1. Describe the layer: 8 input channels, 8x8 feature map, 8 kernels
     //    of 3x3, stride 1, pad 1.
-    LayerSpec layer;
-    layer.name = "quickstart_conv";
-    layer.type = OpType::Conv;
-    layer.conv = ConvShape{1, 8, 8, 8, 8, 3, 3, 1, 1, false};
+    const LayerSpec layer = sim::convLayer("quickstart_conv", 8, 8, 8, 3, 1,
+                                           1);
 
-    // 2. Random int8 activations and weights.
-    Rng rng(2024);
-    Int8Tensor iacts({1, 8, 8, 8});
-    Int8Tensor weights({8, 8, 3, 3});
-    iacts.randomize(rng, -60, 60);
-    weights.randomize(rng, -60, 60);
+    // 2. Build a 4x4 FEATHER, load the activations channel-last, run the
+    //    canonical weight-stationary mapping, and write the oActs in the
+    //    *next* layer's concordant layout (row-major) — the zero-cost
+    //    dataflow/layout co-switch.
+    sim::RunOptions opts;
+    opts.aw = 4; // PE columns == BIRRD inputs == StaB banks
+    opts.ah = 4; // PE rows
+    opts.seed = 2024;
+    opts.in_layout = Layout::parse("HWC_C4");
+    opts.out_layout = Layout::parse("CHW_W4");
+    opts.quant.multiplier = 0.03f; // s_x * s_w / s_out
+    const sim::RunResult r = sim::runLayer(layer, opts);
 
-    // 3. Build a 4x4 FEATHER and load the activations channel-last.
-    FeatherConfig cfg;
-    cfg.aw = 4; // PE columns == BIRRD inputs == StaB banks
-    cfg.ah = 4; // PE rows
-    FeatherAccelerator acc(cfg);
-    acc.loadIacts(iacts, Layout::parse("HWC_C4"));
-
-    // 4. Pick a mapping (the canonical weight-stationary one) and run.
-    //    The out layout is the *next* layer's concordant layout — this is
-    //    the zero-cost dataflow/layout co-switch.
-    const NestMapping mapping = NestMapping::canonical(layer, cfg.aw, cfg.ah);
-    LayerQuant quant;
-    quant.multiplier = 0.03f; // s_x * s_w / s_out
-    const LayerStats stats = acc.run(layer, weights, mapping,
-                                     Layout::parse("CHW_W4"), quant);
-
-    // 5. Read back and verify bit-exactly against the reference op.
-    const Int8Tensor got = acc.readActivations();
-    const Int8Tensor ref = requantizeTensor(conv2d(iacts, weights, 1, 1, 0, 0),
-                                            quant.multiplier, 0);
-    int64_t mismatches = 0;
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-        if (got[size_t(i)] != ref[size_t(i)]) ++mismatches;
-    }
-
+    // 3. The driver already diffed the read-back against the reference
+    //    conv2d + requantize; report the verdict.
     std::printf("FEATHER quickstart\n");
-    std::printf("  layer:        %s\n", layer.toString().c_str());
-    std::printf("  mapping:      %s\n", mapping.toString().c_str());
-    std::printf("  cycles:       %lld (stalls: read %lld, write %lld)\n",
-                (long long)stats.cycles, (long long)stats.read_stall_cycles,
-                (long long)stats.write_stall_cycles);
-    std::printf("  utilization:  %.1f%%\n",
-                100.0 * stats.utilization(cfg.aw * cfg.ah));
-    std::printf("  layout:       HWC_C4 in -> CHW_W4 out (switched in "
-                "reduction)\n");
-    std::printf("  bit-exact:    %s\n", mismatches ? "NO" : "yes");
-    return mismatches ? 1 : 0;
+    std::printf("  layer: %s\n", layer.conv.toString().c_str());
+    std::printf("  mapping: %s\n", r.mapping.toString().c_str());
+    std::printf("  cycles: %lld (%.1f%% PE utilization)\n",
+                (long long)r.stats.cycles,
+                100.0 * r.utilization(opts.aw, opts.ah));
+    std::printf("  iActs read as %s, oActs written as %s via RIR\n",
+                r.in_layout.toString().c_str(),
+                r.out_layout.toString().c_str());
+    std::printf("  bit-exact vs reference conv: %s\n",
+                r.bitExact() ? "yes" : "NO");
+    return r.bitExact() ? 0 : 1;
 }

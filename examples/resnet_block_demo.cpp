@@ -6,114 +6,54 @@
  * layer-granularity (dataflow, layout) co-switching — and verify the final
  * activations bit-exactly against the reference operators.
  *
+ * The block is the `resnet_block` entry of the shared scenario registry
+ * (also runnable as `feather_cli --workload resnet_block`).
+ *
  *   $ ./resnet_block_demo
  */
 
 #include <cstdio>
 
-#include "common/rng.hpp"
-#include "feather/accelerator.hpp"
-#include "tensor/reference_ops.hpp"
+#include "sim/scenario.hpp"
 
 using namespace feather;
-
-namespace {
-
-LayerSpec
-conv(const char *name, int64_t c, int64_t hw, int64_t m, int64_t rs,
-     int64_t pad)
-{
-    LayerSpec l;
-    l.name = name;
-    l.type = OpType::Conv;
-    l.conv = ConvShape{1, c, hw, hw, m, rs, rs, 1, pad, false};
-    return l;
-}
-
-} // namespace
 
 int
 main()
 {
-    // A scaled bottleneck: 32 -> 8 -> 8(3x3) -> 32 channels on 14x14 maps
-    // (full-width ResNet works the same; scaled keeps the demo fast).
-    const LayerSpec l1 = conv("reduce_1x1", 32, 14, 8, 1, 0);
-    const LayerSpec l2 = conv("conv_3x3", 8, 14, 8, 3, 1);
-    const LayerSpec l3 = conv("expand_1x1", 8, 14, 32, 1, 0);
-
-    Rng rng(7);
-    Int8Tensor x({1, 32, 14, 14});
-    Int8Tensor w1({8, 32, 1, 1}), w2({8, 8, 3, 3}), w3({32, 8, 1, 1});
-    x.randomize(rng, -40, 40);
-    w1.randomize(rng, -40, 40);
-    w2.randomize(rng, -40, 40);
-    w3.randomize(rng, -40, 40);
-
-    FeatherConfig cfg;
-    cfg.aw = 8;
-    cfg.ah = 8;
-    FeatherAccelerator acc(cfg);
-
-    // Per-layer (dataflow, layout) schedule — the paper's co-switching:
-    // 1x1 layers run window-parallel columns with a local C-tile, whose
-    // concordant layout is row-major (a window is one line); the 3x3
-    // layer runs channel-parallel columns, concordant with channel-last.
-    // Each layer's RIR writes the *next* layer's layout.
-    NestMapping window_parallel; // for the 1x1 layers
-    window_parallel.cols = {{Dim::Q, 8}};
-    window_parallel.rows = {{Dim::M, 8}};
-    window_parallel.local = {{Dim::C, 8}};
-    NestMapping channel_parallel; // for the 3x3 layer
-    channel_parallel.cols = {{Dim::C, 8}};
-    channel_parallel.rows = {{Dim::M, 8}};
-    channel_parallel.local = {{Dim::R, 3}, {Dim::S, 3}};
-
-    acc.loadIacts(x, Layout::parse("CHW_W8")); // row-major for layer 1
-
-    LayerQuant q1, q2, q3;
-    q1.multiplier = 0.02f;
-    q2.multiplier = 0.03f;
-    q3.multiplier = 0.02f;
-
-    std::printf("ResNet bottleneck on 8x8 FEATHER (dataflow+layout "
-                "co-switched per layer):\n");
-    const LayerStats s1 = acc.run(l1, w1, window_parallel,
-                                  Layout::parse("HWC_C8"), q1);
-    std::printf("  %-11s %8lld cycles  util %5.1f%%  Q-parallel, oActs -> "
-                "HWC_C8\n",
-                l1.name.c_str(), (long long)s1.cycles,
-                100.0 * s1.utilization(64));
-    const LayerStats s2 = acc.run(l2, w2, channel_parallel,
-                                  Layout::parse("CHW_W8"), q2);
-    std::printf("  %-11s %8lld cycles  util %5.1f%%  C-parallel, oActs -> "
-                "CHW_W8\n",
-                l2.name.c_str(), (long long)s2.cycles,
-                100.0 * s2.utilization(64));
-    const LayerStats s3 = acc.run(l3, w3, window_parallel,
-                                  Layout::parse("HWC_C8"), q3);
-    std::printf("  %-11s %8lld cycles  util %5.1f%%  Q-parallel, oActs -> "
-                "HWC_C8\n",
-                l3.name.c_str(), (long long)s3.cycles,
-                100.0 * s3.utilization(64));
-
-    // Reference chain.
-    const Int8Tensor r1 =
-        requantizeTensor(conv2d(x, w1, 1, 0, 0, 0), q1.multiplier, 0);
-    const Int8Tensor r2 =
-        requantizeTensor(conv2d(r1, w2, 1, 1, 0, 0), q2.multiplier, 0);
-    const Int8Tensor r3 =
-        requantizeTensor(conv2d(r2, w3, 1, 0, 0, 0), q3.multiplier, 0);
-
-    const Int8Tensor got = acc.readActivations();
-    int64_t bad = 0;
-    for (int64_t i = 0; i < r3.numel(); ++i) {
-        if (got[size_t(i)] != r3[size_t(i)]) ++bad;
+    const sim::Scenario *scenario = sim::findScenario("resnet_block");
+    if (!scenario) {
+        std::fprintf(stderr, "resnet_block scenario missing from registry\n");
+        return 2;
     }
-    const int64_t total_stalls = s1.read_stall_cycles +
-                                 s2.read_stall_cycles + s3.read_stall_cycles;
+
+    std::string error;
+    const auto run = sim::runScenario(*scenario, {}, &error);
+    if (!run) {
+        std::fprintf(stderr, "run failed: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::printf("ResNet bottleneck on %dx%d FEATHER (dataflow+layout "
+                "co-switched per layer):\n",
+                run->aw, run->ah);
+    const int num_pes = run->aw * run->ah;
+    for (size_t i = 0; i < run->chain.layers.size(); ++i) {
+        const sim::RunResult &r = run->chain.layers[i];
+        std::printf("  %-11s %8lld cycles  util %5.1f%%  cols %s, oActs -> "
+                    "%s\n",
+                    scenario->layers[i].layer.name.c_str(),
+                    (long long)r.stats.cycles,
+                    100.0 * r.stats.utilization(num_pes),
+                    r.mapping.cols.front().dim == Dim::Q ? "Q-parallel"
+                                                         : "C-parallel",
+                    r.out_layout.toString().c_str());
+    }
+
     std::printf("  total bank-conflict stalls: %lld (concordant layouts "
                 "throughout)\n",
-                (long long)total_stalls);
-    std::printf("  final activations bit-exact: %s\n", bad ? "NO" : "yes");
-    return bad ? 1 : 0;
+                (long long)run->chain.totalReadStalls());
+    std::printf("  final activations bit-exact: %s\n",
+                run->chain.bitExact() ? "yes" : "NO");
+    return run->chain.bitExact() ? 0 : 1;
 }

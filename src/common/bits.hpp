@@ -52,6 +52,20 @@ nextPow2(uint64_t v)
     return uint64_t{1} << log2Ceil(v == 0 ? 1 : v);
 }
 
+/**
+ * Largest power of two <= @p budget, clipped to the next power of two
+ * covering @p extent (no point unrolling a spatial dim past its extent).
+ * The sizing rule shared by NestMapping::canonical and the sim driver's
+ * mapping builders.
+ */
+constexpr int64_t
+fitPow2(int64_t extent, int64_t budget)
+{
+    int64_t p = 1;
+    while (p * 2 <= budget && p < extent) p *= 2;
+    return p;
+}
+
 /** Ceiling division for non-negative integers. */
 template <typename T>
 constexpr T

@@ -90,13 +90,7 @@ NestMapping
 NestMapping::canonical(const LayerSpec &layer, int aw, int ah)
 {
     NestMapping m;
-    auto fit = [](int64_t extent, int64_t budget) {
-        // Largest power of two <= budget, clipped to the next power of two
-        // covering the extent (no point unrolling past the extent).
-        int64_t p = 1;
-        while (p * 2 <= budget && p < extent) p *= 2;
-        return p;
-    };
+    const auto fit = fitPow2; // shared spatial-unroll sizing rule
 
     if (layer.type == OpType::Gemm) {
         const GemmShape &g = layer.gemm;

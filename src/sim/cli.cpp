@@ -1,0 +1,222 @@
+#include "sim/cli.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+namespace feather {
+namespace sim {
+
+namespace {
+
+/** Parse a non-negative integer; false on any non-digit input. */
+bool
+parseUint(const std::string &text, uint64_t *out)
+{
+    if (text.empty()) return false;
+    uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') return false;
+        const uint64_t digit = uint64_t(c - '0');
+        if (v > (UINT64_MAX - digit) / 10) return false; // would wrap
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+usage()
+{
+    std::string text =
+        "usage: feather_cli [options]\n"
+        "\n"
+        "Run a named workload scenario on the FEATHER cycle-level simulator\n"
+        "and verify the result bit-exactly against the reference operators.\n"
+        "\n"
+        "options:\n"
+        "  --workload NAME   scenario to run (default: quickstart_conv)\n"
+        "  --dataflow KIND   override every layer's dataflow family:\n"
+        "                    ws|canonical, cp|channel-parallel,\n"
+        "                    wp|window-parallel (default: per-layer choice)\n"
+        "  --layout L        first layer's iAct layout: 'concordant' or a\n"
+        "                    layout string like HWC_C8 (default: concordant)\n"
+        "  --aw N, --ah N    array width/height (default: scenario's)\n"
+        "  --seed N          RNG seed for inputs (default: 2024)\n"
+        "  --trace N         print the first N StaB read/write events\n"
+        "  --list            list the registered scenarios and exit\n"
+        "  --help            show this text\n"
+        "\n"
+        "scenarios:\n";
+    for (const Scenario &s : scenarios()) {
+        text += "  " + s.name;
+        text.append(s.name.size() < 18 ? 18 - s.name.size() : 1, ' ');
+        text += s.summary + "\n";
+    }
+    return text;
+}
+
+CliParse
+parseCli(const std::vector<std::string> &args)
+{
+    CliParse parse;
+    CliOptions &o = parse.opts;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&](std::string *out) {
+            if (i + 1 >= args.size()) {
+                parse.error = arg + " needs a value";
+                return false;
+            }
+            *out = args[++i];
+            return true;
+        };
+        const auto uintValue = [&](uint64_t *out) {
+            std::string text;
+            if (!value(&text)) return false;
+            if (!parseUint(text, out)) {
+                parse.error = arg + " needs a non-negative integer, got '" +
+                              text + "'";
+                return false;
+            }
+            return true;
+        };
+
+        // A 64k-PE edge keeps int(n) well-defined and rejects typos like
+        // --aw 4294967296 instead of silently truncating them.
+        constexpr uint64_t kMaxArrayDim = 65536;
+        const auto dimValue = [&](int *out) {
+            uint64_t n = 0;
+            if (!uintValue(&n)) return false;
+            if (n > kMaxArrayDim) {
+                parse.error = arg + " must be <= " +
+                              std::to_string(kMaxArrayDim) + ", got " +
+                              std::to_string(n);
+                return false;
+            }
+            *out = int(n);
+            return true;
+        };
+
+        uint64_t n = 0;
+        if (arg == "--workload") {
+            if (!value(&o.workload)) return parse;
+        } else if (arg == "--dataflow") {
+            if (!value(&o.dataflow)) return parse;
+        } else if (arg == "--layout") {
+            if (!value(&o.layout)) return parse;
+        } else if (arg == "--aw") {
+            if (!dimValue(&o.aw)) return parse;
+        } else if (arg == "--ah") {
+            if (!dimValue(&o.ah)) return parse;
+        } else if (arg == "--seed") {
+            if (!uintValue(&o.seed)) return parse;
+        } else if (arg == "--trace") {
+            if (!uintValue(&n)) return parse;
+            o.trace = size_t(n);
+        } else if (arg == "--list") {
+            o.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            o.help = true;
+        } else {
+            parse.error = "unknown flag '" + arg + "'";
+            return parse;
+        }
+    }
+    return parse;
+}
+
+int
+cliMain(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+    const CliParse parse = parseCli(args);
+    if (!parse.ok()) {
+        std::fprintf(stderr, "error: %s\n\n%s", parse.error.c_str(),
+                     usage().c_str());
+        return 2;
+    }
+    const CliOptions &o = parse.opts;
+    if (o.help) {
+        std::printf("%s", usage().c_str());
+        return 0;
+    }
+    if (o.list) {
+        Table t({"scenario", "layers", "array", "summary"});
+        for (const Scenario &s : scenarios()) {
+            t.addRow({s.name, std::to_string(s.layers.size()),
+                      strCat(s.default_aw, "x", s.default_ah), s.summary});
+        }
+        std::printf("%s", t.toString().c_str());
+        return 0;
+    }
+
+    const Scenario *scenario = findScenario(o.workload);
+    if (!scenario) {
+        std::fprintf(stderr, "error: unknown workload '%s'; known:",
+                     o.workload.c_str());
+        for (const std::string &name : scenarioNames()) {
+            std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+
+    ScenarioOptions sopts;
+    sopts.aw = o.aw;
+    sopts.ah = o.ah;
+    sopts.dataflow = o.dataflow;
+    sopts.layout = o.layout;
+    sopts.seed = o.seed;
+    sopts.trace_events = o.trace;
+
+    std::string error;
+    const std::optional<ScenarioRun> run =
+        runScenario(*scenario, sopts, &error);
+    if (!run) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::printf("%s on %dx%d FEATHER (seed %llu)\n", scenario->name.c_str(),
+                run->aw, run->ah, (unsigned long long)o.seed);
+    Table t({"layer", "mapping", "iAct layout", "oAct layout", "cycles",
+             "util", "rd stalls", "wr stalls"});
+    const int num_pes = run->aw * run->ah;
+    for (size_t i = 0; i < run->chain.layers.size(); ++i) {
+        const RunResult &r = run->chain.layers[i];
+        t.addRow({scenario->layers[i].layer.name, r.mapping.toString(),
+                  r.in_layout.toString(), r.out_layout.toString(),
+                  std::to_string(r.stats.cycles),
+                  fmtPercent(r.stats.utilization(num_pes)),
+                  std::to_string(r.stats.read_stall_cycles),
+                  std::to_string(r.stats.write_stall_cycles)});
+    }
+    std::printf("%s", t.toString().c_str());
+
+    if (o.trace > 0) {
+        Table tr({"event", "step", "bank", "line"});
+        for (const TraceEvent &ev : run->chain.layers.back().trace) {
+            tr.addRow({ev.kind == TraceEvent::Kind::StabRead
+                           ? "StaB-Ping read"
+                           : "StaB-Pong write",
+                       std::to_string(ev.step), std::to_string(ev.bank),
+                       std::to_string(ev.addr)});
+        }
+        std::printf("%s", tr.toString().c_str());
+    }
+
+    std::printf("total cycles: %lld; oActs bit-exact vs reference_ops: %s\n",
+                (long long)run->chain.totalCycles(),
+                run->chain.bitExact() ? "yes" : "NO");
+    return run->chain.bitExact() ? 0 : 1;
+}
+
+} // namespace sim
+} // namespace feather

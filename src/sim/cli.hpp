@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Command-line front-end of the simulation driver, factored into a library
+ * so the flag parser and the run orchestration are unit-testable without
+ * spawning the `feather_cli` binary.
+ *
+ *   feather_cli --workload resnet_block --dataflow ws --layout concordant
+ *   feather_cli --list
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace feather {
+namespace sim {
+
+/** Parsed `feather_cli` options. */
+struct CliOptions
+{
+    std::string workload = "quickstart_conv";
+    std::string dataflow;              ///< empty = scenario's per-layer choice
+    std::string layout = "concordant"; ///< first layer's iAct layout
+    int aw = 0;                        ///< 0 = scenario default
+    int ah = 0;
+    uint64_t seed = 2024;
+    size_t trace = 0; ///< print the first N StaB trace events
+    bool list = false;
+    bool help = false;
+};
+
+/** Result of parsing an argv tail; ok() iff error is empty. */
+struct CliParse
+{
+    CliOptions opts;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parse the arguments after argv[0]. Unknown flags, missing values and
+ * non-numeric values are rejected with a one-line error.
+ */
+CliParse parseCli(const std::vector<std::string> &args);
+
+/** Usage text (one screen; printed by --help and on parse errors). */
+std::string usage();
+
+/**
+ * Full CLI entry point: parse, run the scenario, print per-layer stats and
+ * the bit-exactness verdict. Returns 0 on a verified run, 1 on a numeric
+ * mismatch, 2 on a usage error.
+ */
+int cliMain(int argc, const char *const *argv);
+
+} // namespace sim
+} // namespace feather

@@ -1,0 +1,415 @@
+#include "sim/driver.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "tensor/reference_ops.hpp"
+
+namespace feather {
+namespace sim {
+
+namespace {
+
+/** First cols dim with degree > 1 (the dim that actually spans banks). */
+std::optional<Dim>
+leadColDim(const NestMapping &mapping)
+{
+    for (const ParallelDim &pd : mapping.cols) {
+        if (pd.degree > 1) return pd.dim;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Layer construction
+// ---------------------------------------------------------------------------
+
+LayerSpec
+convLayer(std::string name, int64_t c, int64_t hw, int64_t m, int64_t rs,
+          int64_t stride, int64_t pad)
+{
+    return convLayer2d(std::move(name), c, hw, hw, m, rs, rs, stride, pad);
+}
+
+LayerSpec
+convLayer2d(std::string name, int64_t c, int64_t h, int64_t w, int64_t m,
+            int64_t r, int64_t s, int64_t stride, int64_t pad)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = OpType::Conv;
+    l.conv = ConvShape{1, c, h, w, m, r, s, stride, pad, false};
+    return l;
+}
+
+LayerSpec
+depthwiseLayer(std::string name, int64_t c, int64_t hw, int64_t rs,
+               int64_t stride, int64_t pad)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = OpType::DepthwiseConv;
+    l.conv = ConvShape{1, c, hw, hw, c, rs, rs, stride, pad, true};
+    return l;
+}
+
+LayerSpec
+gemmLayer(std::string name, int64_t m, int64_t n, int64_t k)
+{
+    LayerSpec l;
+    l.name = std::move(name);
+    l.type = OpType::Gemm;
+    l.gemm = GemmShape{m, n, k};
+    return l;
+}
+
+// ---------------------------------------------------------------------------
+// Inputs and golden reference
+// ---------------------------------------------------------------------------
+
+Int8Tensor
+randomIacts(const LayerSpec &layer, Rng &rng, int lo, int hi)
+{
+    Int8Tensor t = layer.type == OpType::Gemm
+                       ? Int8Tensor({layer.gemm.m, layer.gemm.k})
+                       : Int8Tensor({layer.conv.n, layer.conv.c, layer.conv.h,
+                                     layer.conv.w});
+    t.randomize(rng, lo, hi);
+    return t;
+}
+
+Int8Tensor
+randomWeights(const LayerSpec &layer, Rng &rng, int lo, int hi)
+{
+    Int8Tensor t;
+    switch (layer.type) {
+    case OpType::Gemm:
+        t = Int8Tensor({layer.gemm.k, layer.gemm.n});
+        break;
+    case OpType::DepthwiseConv:
+        t = Int8Tensor({layer.conv.c, 1, layer.conv.r, layer.conv.s});
+        break;
+    default:
+        t = Int8Tensor({layer.conv.m, layer.conv.c, layer.conv.r,
+                        layer.conv.s});
+        break;
+    }
+    t.randomize(rng, lo, hi);
+    return t;
+}
+
+Int8Tensor
+referenceOutput(const LayerSpec &layer, const Int8Tensor &iacts,
+                const Int8Tensor &weights, const LayerQuant &quant)
+{
+    Int32Tensor acc;
+    switch (layer.type) {
+    case OpType::Gemm:
+        acc = gemm(iacts, weights, quant.iact_zp, quant.weight_zp);
+        break;
+    case OpType::DepthwiseConv:
+        acc = depthwiseConv2d(iacts, weights, layer.conv.stride,
+                              layer.conv.pad, quant.iact_zp, quant.weight_zp);
+        break;
+    case OpType::Conv:
+        acc = conv2d(iacts, weights, layer.conv.stride, layer.conv.pad,
+                     quant.iact_zp, quant.weight_zp);
+        break;
+    default:
+        FEATHER_CHECK(false, "referenceOutput: ", toString(layer.type),
+                      " is not a MAC operator");
+    }
+    return requantizeTensor(acc, quant.multiplier, quant.oact_zp);
+}
+
+int64_t
+countMismatches(const Int8Tensor &got, const Int8Tensor &want)
+{
+    if (got.shape() != want.shape()) return want.numel();
+    int64_t bad = 0;
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        if (got[size_t(i)] != want[size_t(i)]) ++bad;
+    }
+    return bad;
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow selection
+// ---------------------------------------------------------------------------
+
+std::optional<DataflowKind>
+parseDataflow(const std::string &name)
+{
+    if (name == "ws" || name == "canonical") return DataflowKind::Canonical;
+    if (name == "cp" || name == "channel-parallel") {
+        return DataflowKind::ChannelParallel;
+    }
+    if (name == "wp" || name == "window-parallel") {
+        return DataflowKind::WindowParallel;
+    }
+    return std::nullopt;
+}
+
+std::string
+toString(DataflowKind kind)
+{
+    switch (kind) {
+    case DataflowKind::Canonical: return "canonical";
+    case DataflowKind::ChannelParallel: return "channel-parallel";
+    case DataflowKind::WindowParallel: return "window-parallel";
+    }
+    return "?";
+}
+
+std::optional<NestMapping>
+buildMapping(DataflowKind kind, const LayerSpec &layer, int aw, int ah,
+             std::string *error)
+{
+    NestMapping m;
+    const ConvShape &c = layer.conv;
+    // GEMM and depthwise have one natural mapping family each; the named
+    // families below only diversify standard convolutions.
+    if (kind == DataflowKind::Canonical || layer.type == OpType::Gemm ||
+        layer.type == OpType::DepthwiseConv) {
+        m = NestMapping::canonical(layer, aw, ah);
+    } else if (kind == DataflowKind::ChannelParallel) {
+        m.local = {{Dim::R, c.r}, {Dim::S, c.s}};
+        m.cols = {{Dim::C, fitPow2(c.c, aw)}};
+        m.rows = {{Dim::M, fitPow2(c.m, ah)}};
+    } else { // WindowParallel
+        // Columns sweep output windows; the reduction is purely temporal
+        // (local R/S plus a C-tile that keeps Phase 1 at least AH long).
+        m.local = {{Dim::R, c.r}, {Dim::S, c.s}};
+        int64_t local_c = 1;
+        while (c.r * c.s * local_c < ah && local_c * 2 <= c.c) local_c *= 2;
+        if (local_c > 1) m.local.push_back({Dim::C, local_c});
+        m.cols = {{Dim::Q, fitPow2(c.outW(), aw)}};
+        m.rows = {{Dim::M, fitPow2(c.m, ah)}};
+    }
+    const std::string why = m.validate(layer, aw, ah);
+    if (!why.empty()) {
+        if (error) {
+            *error = toString(kind) + " does not fit " + layer.name + ": " +
+                     why;
+        }
+        return std::nullopt;
+    }
+    return m;
+}
+
+std::optional<Layout>
+tryParseLayout(const std::string &text, std::string *error)
+{
+    const auto fail = [&](const std::string &why) -> std::optional<Layout> {
+        if (error) *error = "layout '" + text + "': " + why;
+        return std::nullopt;
+    };
+    // Valid dim letters come from the Dim enum itself so this pre-pass
+    // cannot drift from what parseDim() accepts.
+    std::string dims;
+    for (int d = 0; d < kNumDims; ++d) dims += dimName(Dim(d));
+    const size_t underscore = text.find('_');
+    if (underscore == std::string::npos) {
+        return fail("missing '_' separator");
+    }
+    for (size_t i = 0; i < underscore; ++i) {
+        if (dims.find(text[i]) == std::string::npos) {
+            return fail(std::string("unknown dimension '") + text[i] + "'");
+        }
+    }
+    size_t i = underscore + 1;
+    if (i >= text.size()) return fail("no intra factors");
+    while (i < text.size()) {
+        if (dims.find(text[i]) == std::string::npos) {
+            return fail(std::string("unknown dimension '") + text[i] + "'");
+        }
+        ++i;
+        if (i >= text.size() || !std::isdigit(uint8_t(text[i]))) {
+            return fail("intra dim needs a size");
+        }
+        int64_t size = 0;
+        while (i < text.size() && std::isdigit(uint8_t(text[i]))) {
+            size = size * 10 + (text[i] - '0');
+            ++i;
+        }
+        if (size < 1) return fail("intra size must be >= 1");
+    }
+    return Layout::parse(text);
+}
+
+Layout
+concordantInputLayout(const LayerSpec &layer, const NestMapping &mapping,
+                      int aw)
+{
+    if (layer.type == OpType::Gemm) {
+        return Layout::parse(
+            "MK_K" + std::to_string(std::min<int64_t>(aw, layer.gemm.k)));
+    }
+    const std::optional<Dim> lead = leadColDim(mapping);
+    if (lead == Dim::Q || lead == Dim::P) {
+        // Window-parallel columns read consecutive W positions: row-major.
+        return Layout::parse(
+            "CHW_W" + std::to_string(std::min<int64_t>(aw, layer.conv.w)));
+    }
+    // Channel-parallel columns (and the degenerate all-temporal case) read
+    // consecutive channels: channel-last.
+    return Layout::parse(
+        "HWC_C" + std::to_string(std::min<int64_t>(aw, layer.conv.c)));
+}
+
+Layout
+concordantOutputLayout(const LayerSpec &layer, const NestMapping &mapping,
+                       int aw)
+{
+    if (layer.type == OpType::Gemm) {
+        // The [M,N] oActs are the next GEMM's [M,K]: K-tiled lines.
+        return Layout::parse(
+            "MK_K" + std::to_string(std::min<int64_t>(aw, layer.gemm.n)));
+    }
+    const std::optional<Dim> lead = leadColDim(mapping);
+    if (lead == Dim::Q || lead == Dim::P) {
+        return Layout::parse(
+            "CHW_W" +
+            std::to_string(std::min<int64_t>(aw, layer.conv.outW())));
+    }
+    // The M output channels are the next layer's input channels.
+    return Layout::parse(
+        "HWC_C" + std::to_string(std::min<int64_t>(aw, layer.conv.m)));
+}
+
+// ---------------------------------------------------------------------------
+// Runs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+FeatherConfig
+makeConfig(const RunOptions &opts)
+{
+    FeatherConfig cfg;
+    cfg.aw = opts.aw;
+    cfg.ah = opts.ah;
+    if (opts.stab_depth > 0) cfg.stab_depth = opts.stab_depth;
+    return cfg;
+}
+
+} // namespace
+
+RunResult
+runLayer(const LayerSpec &layer, const RunOptions &opts)
+{
+    RunResult res;
+    res.mapping = opts.mapping
+                      ? *opts.mapping
+                      : NestMapping::canonical(layer, opts.aw, opts.ah);
+    res.in_layout = opts.in_layout
+                        ? *opts.in_layout
+                        : concordantInputLayout(layer, res.mapping, opts.aw);
+    res.out_layout = opts.out_layout
+                         ? *opts.out_layout
+                         : concordantOutputLayout(layer, res.mapping, opts.aw);
+
+    Rng rng(opts.seed);
+    const Int8Tensor iacts = randomIacts(layer, rng);
+    const Int8Tensor weights = randomWeights(layer, rng);
+
+    FeatherAccelerator acc(makeConfig(opts));
+    if (opts.trace_events > 0) acc.enableTrace(opts.trace_events);
+    acc.loadIacts(iacts, res.in_layout);
+    res.stats = acc.run(layer, weights, res.mapping, res.out_layout,
+                        opts.quant);
+    res.output = acc.readActivations();
+    res.trace = acc.trace();
+
+    if (opts.verify) {
+        const Int8Tensor ref =
+            referenceOutput(layer, iacts, weights, opts.quant);
+        res.checked = ref.numel();
+        res.mismatches = countMismatches(res.output, ref);
+    }
+    return res;
+}
+
+int64_t
+ChainResult::totalCycles() const
+{
+    int64_t total = 0;
+    for (const RunResult &r : layers) total += r.stats.cycles;
+    return total;
+}
+
+int64_t
+ChainResult::totalReadStalls() const
+{
+    int64_t total = 0;
+    for (const RunResult &r : layers) total += r.stats.read_stall_cycles;
+    return total;
+}
+
+ChainResult
+runChain(const std::vector<ChainStep> &steps, const RunOptions &opts)
+{
+    FEATHER_CHECK(!steps.empty(), "runChain: no steps");
+    ChainResult res;
+
+    // Resolve every step's mapping/layout up front so step i can default its
+    // output to step i+1's concordant input (the paper's co-switch).
+    std::vector<NestMapping> mappings;
+    for (const ChainStep &s : steps) {
+        mappings.push_back(s.mapping ? *s.mapping
+                                     : NestMapping::canonical(s.layer, opts.aw,
+                                                              opts.ah));
+    }
+
+    Rng rng(opts.seed);
+    const Int8Tensor iacts = randomIacts(steps.front().layer, rng);
+    std::vector<Int8Tensor> weights;
+    for (const ChainStep &s : steps) {
+        weights.push_back(randomWeights(s.layer, rng));
+    }
+
+    FeatherAccelerator acc(makeConfig(opts));
+    if (opts.trace_events > 0) acc.enableTrace(opts.trace_events);
+    const Layout first_in =
+        opts.in_layout
+            ? *opts.in_layout
+            : concordantInputLayout(steps.front().layer, mappings.front(),
+                                    opts.aw);
+    acc.loadIacts(iacts, first_in);
+
+    Int8Tensor ref = iacts;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const ChainStep &s = steps[i];
+        RunResult r;
+        r.mapping = mappings[i];
+        r.in_layout = i == 0 ? first_in : res.layers[i - 1].out_layout;
+        if (s.out_layout) {
+            r.out_layout = *s.out_layout;
+        } else if (i + 1 < steps.size()) {
+            r.out_layout = concordantInputLayout(steps[i + 1].layer,
+                                                 mappings[i + 1], opts.aw);
+        } else {
+            r.out_layout = concordantOutputLayout(s.layer, r.mapping, opts.aw);
+        }
+        r.stats = acc.run(s.layer, weights[i], r.mapping, r.out_layout,
+                          s.quant);
+        if (opts.verify) {
+            ref = referenceOutput(s.layer, ref, weights[i], s.quant);
+        }
+        res.layers.push_back(std::move(r));
+    }
+
+    res.layers.back().output = acc.readActivations();
+    res.layers.back().trace = acc.trace();
+    if (opts.verify) {
+        res.checked = ref.numel();
+        res.mismatches = countMismatches(res.layers.back().output, ref);
+    }
+    return res;
+}
+
+} // namespace sim
+} // namespace feather

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * `feather_cli`: run any registered workload scenario on the FEATHER
+ * cycle-level simulator from the command line.
+ *
+ *   $ ./feather_cli --list
+ *   $ ./feather_cli --workload resnet_block --dataflow ws --layout concordant
+ */
+
+#include "sim/cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return feather::sim::cliMain(argc, argv);
+}

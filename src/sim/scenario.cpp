@@ -1,0 +1,209 @@
+#include "sim/scenario.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "dataflow/mapping.hpp"
+
+namespace feather {
+namespace sim {
+
+namespace {
+
+/** Every dim a layout names must exist in the layer's iAct tensor, else
+ *  binding it downstream dies on an internal CHECK instead of a clean
+ *  CLI error. */
+std::string
+layoutDimError(const Layout &layout, const LayerSpec &layer)
+{
+    const Extents extents = iactExtents(layer);
+    const auto check = [&](Dim d) -> std::string {
+        if (extents[d] > 0) return "";
+        return strCat("layout '", layout.toString(), "' uses dim ",
+                      toString(d), " which ", layer.name, "'s ",
+                      layer.type == OpType::Gemm ? "[M,K]" : "[N,C,H,W]",
+                      " iActs do not have");
+    };
+    for (Dim d : layout.interOrder()) {
+        const std::string why = check(d);
+        if (!why.empty()) return why;
+    }
+    for (const IntraFactor &f : layout.intraFactors()) {
+        const std::string why = check(f.dim);
+        if (!why.empty()) return why;
+    }
+    return "";
+}
+
+ScenarioLayer
+layer(LayerSpec spec, DataflowKind kind = DataflowKind::Canonical,
+      float multiplier = 0.02f)
+{
+    return ScenarioLayer{std::move(spec), kind, multiplier};
+}
+
+std::vector<Scenario>
+buildScenarios()
+{
+    std::vector<Scenario> all;
+
+    all.push_back({"quickstart_conv",
+                   "8-channel 8x8 conv 3x3 on a 4x4 array (the quickstart)",
+                   {layer(convLayer("quickstart_conv", 8, 8, 8, 3, 1, 1),
+                          DataflowKind::Canonical, 0.03f)},
+                   4, 4});
+
+    all.push_back({"conv3x3",
+                   "16-channel 14x14 conv 3x3, channel-parallel columns",
+                   {layer(convLayer("conv3x3", 16, 14, 16, 3, 1, 1),
+                          DataflowKind::ChannelParallel)},
+                   8, 8});
+
+    all.push_back({"conv1x1",
+                   "32-channel 14x14 pointwise conv, canonical mapping",
+                   {layer(convLayer("conv1x1", 32, 14, 32, 1, 1, 0))},
+                   8, 8});
+
+    all.push_back({"conv_window",
+                   "conv 3x3 with window-parallel (Q) columns",
+                   {layer(convLayer("conv_window", 8, 14, 16, 3, 1, 1),
+                          DataflowKind::WindowParallel)},
+                   8, 8});
+
+    all.push_back({"depthwise",
+                   "8-channel 6x6 depthwise conv 3x3",
+                   {layer(depthwiseLayer("depthwise", 8, 6, 3, 1, 1),
+                          DataflowKind::Canonical, 0.1f)},
+                   4, 4});
+
+    all.push_back({"gemm",
+                   "GEMM M8 N6 K32 (the Fig. 10 steady-state shape)",
+                   {layer(gemmLayer("gemm", 8, 6, 32))},
+                   4, 4});
+
+    all.push_back({"gemm_skewed",
+                   "skewed GEMM M8 N3 K12 (Fig. 10 workload C)",
+                   {layer(gemmLayer("gemm_skewed", 8, 3, 12))},
+                   4, 4});
+
+    all.push_back(
+        {"resnet_block",
+         "scaled ResNet bottleneck 1x1 -> 3x3 -> 1x1, per-layer "
+         "(dataflow, layout) co-switch through the StaB ping-pong",
+         {layer(convLayer("reduce_1x1", 32, 14, 8, 1, 1, 0),
+                DataflowKind::WindowParallel),
+          layer(convLayer("conv_3x3", 8, 14, 8, 3, 1, 1),
+                DataflowKind::ChannelParallel, 0.03f),
+          layer(convLayer("expand_1x1", 8, 14, 32, 1, 1, 0),
+                DataflowKind::WindowParallel)},
+         8, 8});
+
+    all.push_back(
+        {"mobilenet_bneck",
+         "scaled MobileNet-V3 bneck: expand 1x1 -> depthwise 3x3 -> "
+         "project 1x1",
+         {layer(convLayer("expand_1x1", 16, 14, 32, 1, 1, 0)),
+          layer(depthwiseLayer("dw_3x3", 32, 14, 3, 1, 1), // outputs 14x14
+                DataflowKind::Canonical, 0.05f),
+          layer(convLayer("project_1x1", 32, 14, 16, 1, 1, 0))},
+         8, 8});
+
+    return all;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+scenarios()
+{
+    static const std::vector<Scenario> all = buildScenarios();
+    return all;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const Scenario &s : scenarios()) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+scenarioNames()
+{
+    std::vector<std::string> names;
+    for (const Scenario &s : scenarios()) names.push_back(s.name);
+    return names;
+}
+
+std::optional<ScenarioRun>
+runScenario(const Scenario &scenario, const ScenarioOptions &opts,
+            std::string *error)
+{
+    ScenarioRun run;
+    run.aw = opts.aw > 0 ? opts.aw : scenario.default_aw;
+    run.ah = opts.ah > 0 ? opts.ah : scenario.default_ah;
+    if (run.aw < 2 || !isPow2(uint64_t(run.aw))) {
+        // BIRRD is a power-of-two butterfly; reject up front instead of
+        // panicking inside the topology constructor.
+        if (error) {
+            *error = strCat("array width (--aw) must be a power of two >= 2"
+                            ", got ", run.aw);
+        }
+        return std::nullopt;
+    }
+    if (run.ah < 1) {
+        if (error) *error = strCat("array height (--ah) must be >= 1");
+        return std::nullopt;
+    }
+
+    std::optional<DataflowKind> override_kind;
+    if (!opts.dataflow.empty()) {
+        override_kind = parseDataflow(opts.dataflow);
+        if (!override_kind) {
+            if (error) {
+                *error = "unknown dataflow '" + opts.dataflow +
+                         "' (expected ws|cp|wp or their long names)";
+            }
+            return std::nullopt;
+        }
+    }
+
+    RunOptions ropts;
+    ropts.aw = run.aw;
+    ropts.ah = run.ah;
+    ropts.seed = opts.seed;
+    ropts.trace_events = opts.trace_events;
+
+    std::vector<ChainStep> steps;
+    for (const ScenarioLayer &sl : scenario.layers) {
+        const DataflowKind kind =
+            override_kind ? *override_kind : sl.dataflow;
+        const std::optional<NestMapping> mapping =
+            buildMapping(kind, sl.layer, run.aw, run.ah, error);
+        if (!mapping) return std::nullopt;
+        ChainStep step;
+        step.layer = sl.layer;
+        step.mapping = *mapping;
+        step.quant.multiplier = sl.multiplier;
+        steps.push_back(std::move(step));
+    }
+
+    if (!opts.layout.empty() && opts.layout != "concordant") {
+        const std::optional<Layout> in = tryParseLayout(opts.layout, error);
+        if (!in) return std::nullopt;
+        const std::string why =
+            layoutDimError(*in, scenario.layers.front().layer);
+        if (!why.empty()) {
+            if (error) *error = why;
+            return std::nullopt;
+        }
+        ropts.in_layout = *in;
+    }
+
+    run.chain = runChain(steps, ropts);
+    return run;
+}
+
+} // namespace sim
+} // namespace feather
