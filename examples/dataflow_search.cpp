@@ -2,7 +2,11 @@
  * @file
  * Layoutloop driver: co-search (dataflow, layout) for a layer you describe
  * on the command line and print the top choices by EDP, plus what the same
- * layer costs on the fixed-dataflow baselines.
+ * layer costs on the fixed-dataflow baselines — then cross-check the
+ * dataflow families on the cycle-accurate simulator via the serve batch
+ * engine: each (dataflow x array-size) point is one engine job, executed
+ * concurrently with shared plan caching and verified bit-exactly against
+ * the reference operators.
  *
  *   $ ./dataflow_search [C H W M R stride pad]
  *   $ ./dataflow_search 256 14 14 256 3 1 1
@@ -15,9 +19,30 @@
 #include "baselines/arch_zoo.hpp"
 #include "common/table.hpp"
 #include "layoutloop/mapper.hpp"
+#include "serve/engine.hpp"
 #include "sim/driver.hpp"
 
 using namespace feather;
+
+namespace {
+
+/**
+ * The CLI layer, capped to a size the cycle simulator sweeps in seconds
+ * (the analytic mapper above handles the full-size layer; the sim sweep
+ * is a bit-exact cross-check of the dataflow families, not a re-search).
+ */
+LayerSpec
+simSizedLayer(const LayerSpec &layer)
+{
+    const ConvShape &c = layer.conv;
+    return sim::convLayer2d("sim_check", std::min<int64_t>(c.c, 32),
+                            std::min<int64_t>(c.h, 14),
+                            std::min<int64_t>(c.w, 14),
+                            std::min<int64_t>(c.m, 32), c.r, c.s, c.stride,
+                            c.pad);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -80,6 +105,43 @@ main(int argc, char **argv)
                   fmtRatio(double(r.total_cycles) /
                            double(best.total_cycles))});
     }
-    std::printf("%s", b.toString().c_str());
-    return 0;
+    std::printf("%s\n", b.toString().c_str());
+
+    // Cycle-sim cross-check: sweep the dataflow families over two array
+    // sizes as one multi-threaded engine batch (every job bit-exact
+    // against the reference operators).
+    sim::Scenario scenario;
+    scenario.name = "sim_check";
+    scenario.summary = "dataflow_search cycle-sim cross-check";
+    scenario.layers = {{simSizedLayer(layer), sim::DataflowKind::Canonical,
+                        0.02f}};
+    scenario.default_aw = 8;
+    scenario.default_ah = 8;
+
+    serve::SweepSpec sweep;
+    sweep.inline_scenario = scenario;
+    sweep.dataflows = {"ws", "cp", "wp"};
+    sweep.arrays = {{8, 8}, {16, 16}};
+
+    serve::BatchOptions bopts;
+    bopts.num_threads = 4;
+    serve::BatchEngine engine(bopts);
+    std::vector<std::string> skipped;
+    std::string error;
+    const std::optional<serve::BatchReport> report =
+        engine.sweep(sweep, &skipped, &error);
+    if (!report) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("cycle-sim cross-check of %s on the serve engine "
+                "(%zu jobs, %llu plan-cache hits):\n",
+                scenario.layers.front().layer.conv.toString().c_str(),
+                report->jobs.size(),
+                (unsigned long long)report->cache.hits);
+    for (const std::string &why : skipped) {
+        std::printf("skipped %s\n", why.c_str());
+    }
+    std::printf("%s", report->summaryTable().c_str());
+    return report->allOk() ? 0 : 1;
 }

@@ -1,0 +1,32 @@
+#pragma once
+
+/**
+ * @file
+ * Tiny shared text-parsing helpers for the CLI surfaces (sim flag parser,
+ * serve batch flags, serve batch files), so overflow policy lives in one
+ * place.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace feather {
+
+/** Parse a non-negative decimal integer; false on empty input, any
+ *  non-digit character, or uint64 overflow. */
+inline bool
+parseUint(const std::string &text, uint64_t *out)
+{
+    if (text.empty()) return false;
+    uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') return false;
+        const uint64_t digit = uint64_t(c - '0');
+        if (v > (UINT64_MAX - digit) / 10) return false; // would wrap
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace feather

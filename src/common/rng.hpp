@@ -22,6 +22,31 @@ class Rng
 
     explicit Rng(uint64_t seed = 0x5EEDFEA7'42ull) { reseed(seed); }
 
+    /**
+     * Independent stream @p stream of @p base_seed: the generator for job
+     * @p stream of a batch whose base seed is @p base_seed. Concurrent jobs
+     * each derive their own stream instead of sharing one mutable Rng, so a
+     * batch run is bit-identical regardless of how many worker threads
+     * execute it (see serve::BatchEngine).
+     */
+    static Rng
+    forStream(uint64_t base_seed, uint64_t stream)
+    {
+        return Rng(deriveStream(base_seed, stream));
+    }
+
+    /** The seed Rng::forStream(base_seed, stream) reseeds with. */
+    static uint64_t
+    deriveStream(uint64_t base_seed, uint64_t stream)
+    {
+        // One extra splitmix64 round over (base, stream) so adjacent stream
+        // indices land far apart in seed space.
+        uint64_t x = base_seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+        return x ^ (x >> 31);
+    }
+
     void
     reseed(uint64_t seed)
     {

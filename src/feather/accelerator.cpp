@@ -59,7 +59,8 @@ oactToIactSpace(const LayerSpec &layer, const Coord &o)
     return c;
 }
 
-/** Extents of the oAct tensor in iAct space (for binding the out layout). */
+} // namespace
+
 Extents
 oactIactExtents(const LayerSpec &layer)
 {
@@ -74,8 +75,6 @@ oactIactExtents(const LayerSpec &layer)
     }
     return e;
 }
-
-} // namespace
 
 FeatherAccelerator::FeatherAccelerator(FeatherConfig cfg)
     : cfg_(cfg), nest_(cfg.aw, cfg.ah, cfg.max_local), birrd_(cfg.aw),

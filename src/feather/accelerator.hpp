@@ -42,6 +42,15 @@
 
 namespace feather {
 
+/**
+ * Extents of a layer's oAct tensor in next-layer iAct space — the space
+ * oAct layouts are written in (RIR: StaB pong holds the next layer's
+ * inputs): conv (M,P,Q) -> (C,H,W), GEMM N -> K. This is the binding
+ * FeatherAccelerator::run applies to its out_layout; layout validators
+ * must use it too.
+ */
+Extents oactIactExtents(const LayerSpec &layer);
+
 /** One entry of the Fig. 11-style read/write trace. */
 struct TraceEvent
 {

@@ -1,0 +1,189 @@
+#include "serve/batch_cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/parse.hpp"
+#include "serve/engine.hpp"
+#include "sim/cli.hpp"
+
+namespace feather {
+namespace serve {
+
+namespace {
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << content;
+    return bool(out);
+}
+
+} // namespace
+
+bool
+isBatchInvocation(const std::vector<std::string> &args)
+{
+    for (const std::string &arg : args) {
+        if (arg == "--batch" || arg == "--sweep" || arg == "--jobs" ||
+            arg == "--report-csv" || arg == "--report-json") {
+            return true;
+        }
+    }
+    return false;
+}
+
+BatchCliParse
+parseBatchCli(const std::vector<std::string> &args)
+{
+    BatchCliParse parse;
+    BatchCliOptions &o = parse.opts;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&](std::string *out) {
+            if (i + 1 >= args.size()) {
+                parse.error = arg + " needs a value";
+                return false;
+            }
+            *out = args[++i];
+            return true;
+        };
+        const auto uintValue = [&](uint64_t *out) {
+            std::string text;
+            if (!value(&text)) return false;
+            if (!parseUint(text, out)) {
+                parse.error = arg + " needs a non-negative integer, got '" +
+                              text + "'";
+                return false;
+            }
+            return true;
+        };
+
+        uint64_t n = 0;
+        if (arg == "--batch") {
+            if (!value(&o.batch_file)) return parse;
+        } else if (arg == "--sweep") {
+            if (!value(&o.sweep)) return parse;
+        } else if (arg == "--jobs") {
+            if (!uintValue(&n)) return parse;
+            if (n < 1 || n > 256) {
+                parse.error = "--jobs must be in [1, 256], got " +
+                              std::to_string(n);
+                return parse;
+            }
+            o.jobs = int(n);
+        } else if (arg == "--seed") {
+            if (!uintValue(&o.seed)) return parse;
+        } else if (arg == "--report-csv") {
+            if (!value(&o.report_csv)) return parse;
+        } else if (arg == "--report-json") {
+            if (!value(&o.report_json)) return parse;
+        } else if (arg == "--help" || arg == "-h") {
+            o.help = true;
+        } else {
+            parse.error = "unknown flag '" + arg +
+                          "' in batch mode (--batch/--sweep runs accept "
+                          "--jobs, --seed, --report-csv, --report-json)";
+            return parse;
+        }
+    }
+    if (!parse.ok()) return parse;
+    if (o.help) return parse;
+    if (o.batch_file.empty() == o.sweep.empty()) {
+        parse.error = o.batch_file.empty()
+                          ? "batch mode needs --batch FILE or --sweep "
+                            "SCENARIO"
+                          : "--batch and --sweep are mutually exclusive";
+    }
+    return parse;
+}
+
+int
+batchMain(const BatchCliOptions &opts)
+{
+    if (opts.help) {
+        std::printf("%s", sim::usage().c_str());
+        return 0;
+    }
+
+    BatchOptions engine_opts;
+    engine_opts.num_threads = opts.jobs;
+    engine_opts.base_seed = opts.seed;
+    BatchEngine engine(engine_opts);
+
+    BatchReport report;
+    if (!opts.sweep.empty()) {
+        SweepSpec sweep;
+        sweep.scenario = opts.sweep;
+        std::vector<std::string> skipped;
+        std::string error;
+        const std::optional<BatchReport> r =
+            engine.sweep(sweep, &skipped, &error);
+        if (!r) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+        report = *r;
+        for (const std::string &why : skipped) {
+            std::printf("skipped %s\n", why.c_str());
+        }
+    } else {
+        std::ifstream in(opts.batch_file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read batch file '%s'\n",
+                         opts.batch_file.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::vector<JobSpec> jobs;
+        std::string error;
+        if (!parseBatchFile(text.str(), &jobs, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+        report = engine.run(jobs);
+    }
+
+    std::printf("batch of %zu job(s) on %d worker thread(s), base seed "
+                "%llu\n",
+                report.jobs.size(), engine.options().num_threads,
+                (unsigned long long)report.base_seed);
+    std::printf("%s", report.summaryTable().c_str());
+
+    if (!opts.report_csv.empty() &&
+        !writeFile(opts.report_csv, report.toCsv())) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     opts.report_csv.c_str());
+        return 2;
+    }
+    if (!opts.report_json.empty() &&
+        !writeFile(opts.report_json, report.toJson())) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     opts.report_json.c_str());
+        return 2;
+    }
+    return report.allOk() ? 0 : 1;
+}
+
+int
+cliMain(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+    if (!isBatchInvocation(args)) return sim::cliMain(argc, argv);
+
+    const BatchCliParse parse = parseBatchCli(args);
+    if (!parse.ok()) {
+        std::fprintf(stderr, "error: %s\n\n%s", parse.error.c_str(),
+                     sim::usage().c_str());
+        return 2;
+    }
+    return batchMain(parse.opts);
+}
+
+} // namespace serve
+} // namespace feather

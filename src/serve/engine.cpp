@@ -1,0 +1,107 @@
+#include "serve/engine.hpp"
+
+#include <exception>
+
+#include "common/rng.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace feather {
+namespace serve {
+
+BatchEngine::BatchEngine(BatchOptions opts) : opts_(opts)
+{
+    if (opts_.num_threads < 1) opts_.num_threads = 1;
+}
+
+JobResult
+BatchEngine::runOne(const JobSpec &spec, size_t index)
+{
+    JobResult result;
+    result.name = displayName(spec);
+    result.scenario =
+        spec.inline_scenario ? spec.inline_scenario->name : spec.scenario;
+    result.dataflow =
+        spec.opts.dataflow.empty() ? std::string("auto") : spec.opts.dataflow;
+    result.layout =
+        spec.opts.layout.empty() ? std::string("concordant") : spec.opts.layout;
+
+    std::string error;
+    const sim::Scenario *scenario = resolveScenario(spec, &error);
+    if (!scenario) {
+        result.error = error;
+        return result;
+    }
+
+    sim::ScenarioOptions opts = spec.opts;
+    // The per-job input stream: derived from (base_seed, job_index) unless
+    // the spec pins a seed, so a batch is bit-identical at any --jobs N.
+    opts.seed = spec.explicit_seed
+                    ? *spec.explicit_seed
+                    : Rng::deriveStream(opts_.base_seed, index);
+    result.seed = opts.seed;
+    result.aw = opts.aw > 0 ? opts.aw : scenario->default_aw;
+    result.ah = opts.ah > 0 ? opts.ah : scenario->default_ah;
+
+    std::optional<sim::ScenarioRun> run;
+    try {
+        run = sim::runScenario(*scenario, opts, &error, cache_.planFn());
+    } catch (const std::exception &e) {
+        result.error = e.what();
+        return result;
+    }
+    if (!run) {
+        result.error = error;
+        return result;
+    }
+
+    result.ok = true;
+    result.aw = run->aw;
+    result.ah = run->ah;
+    result.layers = run->chain.layers.size();
+    for (const sim::RunResult &r : run->chain.layers) {
+        result.cycles += r.stats.cycles;
+        result.macs += r.stats.macs;
+        result.read_stalls += r.stats.read_stall_cycles;
+        result.write_stalls += r.stats.write_stall_cycles;
+    }
+    result.checked = run->chain.checked;
+    result.mismatches = run->chain.mismatches;
+    const double denom = double(result.aw) * double(result.ah);
+    result.utilization =
+        result.cycles > 0 ? double(result.macs) /
+                                (double(result.cycles) * denom)
+                          : 0.0;
+    return result;
+}
+
+BatchReport
+BatchEngine::run(const std::vector<JobSpec> &jobs)
+{
+    BatchReport report;
+    report.base_seed = opts_.base_seed;
+    report.jobs.resize(jobs.size());
+    {
+        ThreadPool pool(opts_.num_threads);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([this, &jobs, &report, i] {
+                report.jobs[i] = runOne(jobs[i], i);
+            });
+        }
+        pool.wait();
+    }
+    report.cache = cache_.stats();
+    return report;
+}
+
+std::optional<BatchReport>
+BatchEngine::sweep(const SweepSpec &sweep, std::vector<std::string> *skipped,
+                   std::string *error)
+{
+    const std::optional<std::vector<JobSpec>> jobs =
+        expandSweep(sweep, cache_, skipped, error);
+    if (!jobs) return std::nullopt;
+    return run(*jobs);
+}
+
+} // namespace serve
+} // namespace feather

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * `feather_cli`: run one workload scenario — or a whole batch/sweep of them
+ * on the multi-threaded serve engine — on the FEATHER cycle-level simulator.
+ *
+ *   $ ./feather_cli --list
+ *   $ ./feather_cli --workload resnet_block --dataflow ws --layout concordant
+ *   $ ./feather_cli --sweep quickstart_conv --jobs 8 --report-csv sweep.csv
+ *   $ ./feather_cli --batch jobs.txt --jobs 4
+ */
+
+#include "serve/batch_cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return feather::serve::cliMain(argc, argv);
+}

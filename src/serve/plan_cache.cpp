@@ -1,0 +1,72 @@
+#include "serve/plan_cache.hpp"
+
+#include "common/log.hpp"
+
+namespace feather {
+namespace serve {
+
+std::string
+PlanCache::key(sim::DataflowKind kind, const LayerSpec &layer, int aw, int ah)
+{
+    // Shape-only key: two layers with equal shapes plan identically, their
+    // names notwithstanding.
+    if (layer.type == OpType::Gemm) {
+        return strCat("gemm|", layer.gemm.m, "x", layer.gemm.n, "x",
+                      layer.gemm.k, "|", toString(kind), "|", aw, "x", ah);
+    }
+    const ConvShape &c = layer.conv;
+    return strCat(toString(layer.type), "|", c.n, ",", c.c, ",", c.h, ",",
+                  c.w, ",", c.m, ",", c.r, ",", c.s, ",s", c.stride, ",p",
+                  c.pad, "|", toString(kind), "|", aw, "x", ah);
+}
+
+std::optional<sim::LayerPlan>
+PlanCache::getOrPlan(sim::DataflowKind kind, const LayerSpec &layer, int aw,
+                     int ah, std::string *error)
+{
+    const std::string k = key(kind, layer, aw, ah);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) {
+        ++misses_;
+        Entry entry;
+        entry.plan = sim::planLayer(kind, layer, aw, ah, &entry.error);
+        it = map_.emplace(k, std::move(entry)).first;
+    } else {
+        ++hits_;
+    }
+    if (!it->second.plan && error) *error = it->second.error;
+    return it->second.plan;
+}
+
+sim::PlanFn
+PlanCache::planFn()
+{
+    return [this](sim::DataflowKind kind, const LayerSpec &layer, int aw,
+                  int ah, std::string *error) {
+        return getOrPlan(kind, layer, aw, ah, error);
+    };
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = map_.size();
+    return s;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace serve
+} // namespace feather

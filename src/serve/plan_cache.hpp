@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Thread-safe memoization of per-(layer, dataflow, AW, AH) planning
+ * artifacts (sim::LayerPlan: the NEST mapping plus the concordant in/out
+ * layouts it induces).
+ *
+ * A batch sweep re-plans the same points over and over — every job of a
+ * (dataflow x layout x array) grid over one scenario shares its layer
+ * plans with the grid points that differ only in layout or seed. The cache
+ * keys on the layer *shape*, not its name, so two scenarios containing the
+ * same conv share an entry too. Failed plans (mapping does not fit) are
+ * cached alongside successes so a sweep probing infeasible corners stays
+ * cheap.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/scenario.hpp"
+
+namespace feather {
+namespace serve {
+
+/** Shared, thread-safe plan memo with hit/miss accounting. */
+class PlanCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        size_t entries = 0;
+
+        uint64_t lookups() const { return hits + misses; }
+    };
+
+    /**
+     * The memoized equivalent of sim::planLayer. On a miss the plan is
+     * computed *while holding the cache lock*: planning is microseconds
+     * against the milliseconds a job's cycle sim takes, and serializing it
+     * makes the hit/miss counters deterministic (one miss per unique key,
+     * regardless of how many worker threads race on it) — which keeps the
+     * exported BatchReport bit-identical across --jobs settings.
+     */
+    std::optional<sim::LayerPlan> getOrPlan(sim::DataflowKind kind,
+                                            const LayerSpec &layer, int aw,
+                                            int ah,
+                                            std::string *error = nullptr);
+
+    /** This cache as a sim::PlanFn, for injection into sim::runScenario. */
+    sim::PlanFn planFn();
+
+    Stats stats() const;
+
+    void clear();
+
+    /** Cache key of one planning point (layer shape, not name). */
+    static std::string key(sim::DataflowKind kind, const LayerSpec &layer,
+                           int aw, int ah);
+
+  private:
+    struct Entry
+    {
+        std::optional<sim::LayerPlan> plan; ///< nullopt = cached failure
+        std::string error;                  ///< why planning failed
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Entry> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace serve
+} // namespace feather

@@ -1,0 +1,186 @@
+#include "serve/report.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace feather {
+namespace serve {
+
+namespace {
+
+/** Fixed-precision utilization: deterministic and locale-independent. */
+std::string
+fmtUtil(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return buf;
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** CSV cells must stay comma-free for Table::toCsv. */
+std::string
+csvSafe(std::string s)
+{
+    for (char &c : s) {
+        if (c == ',' || c == '\n') c = ';';
+    }
+    return s;
+}
+
+const std::vector<std::string> &
+columns()
+{
+    static const std::vector<std::string> cols = {
+        "job",        "scenario", "dataflow",    "layout",
+        "aw",         "ah",       "seed",        "status",
+        "layers",     "cycles",   "macs",        "utilization",
+        "rd_stalls",  "wr_stalls", "checked",    "mismatches",
+        "error"};
+    return cols;
+}
+
+std::vector<std::string>
+row(const JobResult &r)
+{
+    return {csvSafe(r.name),
+            csvSafe(r.scenario),
+            csvSafe(r.dataflow),
+            csvSafe(r.layout),
+            std::to_string(r.aw),
+            std::to_string(r.ah),
+            std::to_string(r.seed),
+            r.status(),
+            std::to_string(r.layers),
+            std::to_string(r.cycles),
+            std::to_string(r.macs),
+            fmtUtil(r.utilization),
+            std::to_string(r.read_stalls),
+            std::to_string(r.write_stalls),
+            std::to_string(r.checked),
+            std::to_string(r.mismatches),
+            csvSafe(r.error)};
+}
+
+} // namespace
+
+std::string
+JobResult::status() const
+{
+    if (!ok) return "ERROR";
+    return bitExact() ? "ok" : "MISMATCH";
+}
+
+size_t
+BatchReport::failures() const
+{
+    size_t n = 0;
+    for (const JobResult &r : jobs) {
+        if (!r.bitExact()) ++n;
+    }
+    return n;
+}
+
+int64_t
+BatchReport::totalCycles() const
+{
+    int64_t total = 0;
+    for (const JobResult &r : jobs) total += r.cycles;
+    return total;
+}
+
+int64_t
+BatchReport::totalMacs() const
+{
+    int64_t total = 0;
+    for (const JobResult &r : jobs) total += r.macs;
+    return total;
+}
+
+std::string
+BatchReport::toCsv() const
+{
+    Table t(columns());
+    for (const JobResult &r : jobs) t.addRow(row(r));
+    return t.toCsv();
+}
+
+std::string
+BatchReport::toJson() const
+{
+    std::string out = "{\"jobs\":[";
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JobResult &r = jobs[i];
+        if (i > 0) out += ",";
+        out += strCat(
+            "{\"job\":\"", jsonEscape(r.name), "\",\"scenario\":\"",
+            jsonEscape(r.scenario), "\",\"dataflow\":\"",
+            jsonEscape(r.dataflow), "\",\"layout\":\"", jsonEscape(r.layout),
+            "\",\"aw\":", r.aw, ",\"ah\":", r.ah, ",\"seed\":", r.seed,
+            ",\"status\":\"", r.status(), "\",\"layers\":", r.layers,
+            ",\"cycles\":", r.cycles, ",\"macs\":", r.macs,
+            ",\"utilization\":", fmtUtil(r.utilization),
+            ",\"rd_stalls\":", r.read_stalls,
+            ",\"wr_stalls\":", r.write_stalls, ",\"checked\":", r.checked,
+            ",\"mismatches\":", r.mismatches, ",\"error\":\"",
+            jsonEscape(r.error), "\"}");
+    }
+    out += strCat(
+        "],\"summary\":{\"jobs\":", jobs.size(),
+        ",\"failures\":", failures(), ",\"bit_exact\":",
+        allOk() ? "true" : "false", ",\"total_cycles\":", totalCycles(),
+        ",\"total_macs\":", totalMacs(), ",\"base_seed\":", base_seed,
+        ",\"plan_cache\":{\"hits\":", cache.hits, ",\"misses\":",
+        cache.misses, ",\"entries\":", cache.entries, "}}}");
+    return out;
+}
+
+std::string
+BatchReport::summaryTable() const
+{
+    Table t({"job", "array", "status", "layers", "cycles", "util",
+             "rd stalls", "wr stalls"});
+    for (const JobResult &r : jobs) {
+        t.addRow({r.name, strCat(r.aw, "x", r.ah), r.status(),
+                  std::to_string(r.layers), std::to_string(r.cycles),
+                  fmtPercent(r.utilization),
+                  std::to_string(r.read_stalls),
+                  std::to_string(r.write_stalls)});
+    }
+    std::string out = t.toString();
+    out += strCat(jobs.size(), " job(s), ", failures(),
+                  " failure(s); total cycles ", totalCycles(),
+                  "; plan cache: ", cache.hits, " hit(s), ", cache.misses,
+                  " miss(es), ", cache.entries, " entr(y/ies)\n");
+    return out;
+}
+
+} // namespace serve
+} // namespace feather

@@ -1,0 +1,68 @@
+#include "serve/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace feather {
+namespace serve {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int n = std::max(1, num_threads);
+    workers_.reserve(size_t(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &w : workers_) w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push(std::move(task));
+        ++inflight_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inflight_;
+            if (inflight_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace serve
+} // namespace feather

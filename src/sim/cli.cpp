@@ -3,31 +3,12 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "sim/scenario.hpp"
 
 namespace feather {
 namespace sim {
-
-namespace {
-
-/** Parse a non-negative integer; false on any non-digit input. */
-bool
-parseUint(const std::string &text, uint64_t *out)
-{
-    if (text.empty()) return false;
-    uint64_t v = 0;
-    for (char c : text) {
-        if (c < '0' || c > '9') return false;
-        const uint64_t digit = uint64_t(c - '0');
-        if (v > (UINT64_MAX - digit) / 10) return false; // would wrap
-        v = v * 10 + digit;
-    }
-    *out = v;
-    return true;
-}
-
-} // namespace
 
 std::string
 usage()
@@ -50,6 +31,20 @@ usage()
         "  --trace N         print the first N StaB read/write events\n"
         "  --list            list the registered scenarios and exit\n"
         "  --help            show this text\n"
+        "\n"
+        "batch mode (multi-threaded serve engine; see src/serve):\n"
+        "  --sweep NAME      run the (dataflow x array-size) grid over a\n"
+        "                    scenario; infeasible grid points are skipped\n"
+        "  --batch FILE      run the jobs listed in FILE, one per line:\n"
+        "                    <scenario> [dataflow=..] [layout=..]\n"
+        "                    [out_layout=..] [aw=N] [ah=N] [seed=N]\n"
+        "                    [name=..]   ('#' comments)\n"
+        "  --jobs N          worker threads (default 1); the report is\n"
+        "                    bit-identical for any N\n"
+        "  --seed N          base seed; job i draws inputs from stream\n"
+        "                    (seed, i)\n"
+        "  --report-csv F    write the per-job report as CSV to F\n"
+        "  --report-json F   write the report as single-line JSON to F\n"
         "\n"
         "scenarios:\n";
     for (const Scenario &s : scenarios()) {

@@ -280,6 +280,20 @@ concordantOutputLayout(const LayerSpec &layer, const NestMapping &mapping,
         "HWC_C" + std::to_string(std::min<int64_t>(aw, layer.conv.m)));
 }
 
+std::optional<LayerPlan>
+planLayer(DataflowKind kind, const LayerSpec &layer, int aw, int ah,
+          std::string *error)
+{
+    const std::optional<NestMapping> mapping =
+        buildMapping(kind, layer, aw, ah, error);
+    if (!mapping) return std::nullopt;
+    LayerPlan plan;
+    plan.mapping = *mapping;
+    plan.in_layout = concordantInputLayout(layer, *mapping, aw);
+    plan.out_layout = concordantOutputLayout(layer, *mapping, aw);
+    return plan;
+}
+
 // ---------------------------------------------------------------------------
 // Runs
 // ---------------------------------------------------------------------------

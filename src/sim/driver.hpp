@@ -50,6 +50,12 @@ LayerSpec gemmLayer(std::string name, int64_t m, int64_t n, int64_t k);
 // ---------------------------------------------------------------------------
 // Inputs and golden reference
 // ---------------------------------------------------------------------------
+//
+// Input generation is concurrency-safe by construction: there is no shared
+// generator state. Each caller owns its Rng — runLayer/runChain seed a local
+// one from RunOptions::seed, and batch jobs (serve::BatchEngine) derive
+// theirs from Rng::deriveStream(base_seed, job_index) — so concurrent runs
+// are bit-identical regardless of thread count or scheduling.
 
 /** Random iActs of the layer's input shape ([1,C,H,W] conv, [M,K] GEMM). */
 Int8Tensor randomIacts(const LayerSpec &layer, Rng &rng, int lo = -50,
@@ -117,6 +123,27 @@ Layout concordantInputLayout(const LayerSpec &layer, const NestMapping &mapping,
  *  the next layer of the same dataflow family reads conflict-free). */
 Layout concordantOutputLayout(const LayerSpec &layer,
                               const NestMapping &mapping, int aw);
+
+/**
+ * The planning artifacts of one (layer, dataflow, AW, AH) point: the NEST
+ * mapping plus the concordant in/out layouts it induces. This is the unit
+ * serve::PlanCache memoizes across batch jobs — per job the sim still runs,
+ * but planning is shared.
+ */
+struct LayerPlan
+{
+    NestMapping mapping;
+    Layout in_layout;
+    Layout out_layout;
+};
+
+/**
+ * buildMapping + both concordant layouts in one call; nullopt (with
+ * @p error set) when the mapping does not fit or fails validation.
+ */
+std::optional<LayerPlan> planLayer(DataflowKind kind, const LayerSpec &layer,
+                                   int aw, int ah,
+                                   std::string *error = nullptr);
 
 // ---------------------------------------------------------------------------
 // Single-layer runs

@@ -3,25 +3,24 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "dataflow/mapping.hpp"
+#include "feather/accelerator.hpp"
 
 namespace feather {
 namespace sim {
 
 namespace {
 
-/** Every dim a layout names must exist in the layer's iAct tensor, else
- *  binding it downstream dies on an internal CHECK instead of a clean
- *  CLI error. */
+/** Every dim a layout names must exist in the target tensor, else binding
+ *  it downstream dies on an internal CHECK instead of a clean CLI error. */
 std::string
-layoutDimError(const Layout &layout, const LayerSpec &layer)
+layoutDimError(const Layout &layout, const LayerSpec &layer,
+               const Extents &extents, const char *what)
 {
-    const Extents extents = iactExtents(layer);
     const auto check = [&](Dim d) -> std::string {
         if (extents[d] > 0) return "";
         return strCat("layout '", layout.toString(), "' uses dim ",
-                      toString(d), " which ", layer.name, "'s ",
-                      layer.type == OpType::Gemm ? "[M,K]" : "[N,C,H,W]",
-                      " iActs do not have");
+                      toString(d), " which ", layer.name, "'s ", what,
+                      " do not have");
     };
     for (Dim d : layout.interOrder()) {
         const std::string why = check(d);
@@ -107,6 +106,31 @@ buildScenarios()
           layer(convLayer("project_1x1", 32, 14, 16, 1, 1, 0))},
          8, 8});
 
+    all.push_back(
+        {"dw_separable",
+         "depthwise 3x3 -> pointwise 1x1 separable pair (MobileNet's "
+         "workhorse block) with a dataflow switch between them",
+         {layer(depthwiseLayer("dw_3x3", 16, 14, 3, 1, 1),
+                DataflowKind::Canonical, 0.05f),
+          layer(convLayer("pw_1x1", 16, 14, 32, 1, 1, 0),
+                DataflowKind::ChannelParallel)},
+         8, 8});
+
+    all.push_back(
+        {"gemm_chain",
+         "3-layer GEMM MLP K32 -> N16 -> N8 -> N4 threaded through the "
+         "StaB ping-pong (each output is the next GEMM's [M,K] input)",
+         {layer(gemmLayer("fc1", 8, 16, 32), DataflowKind::Canonical, 0.03f),
+          layer(gemmLayer("fc2", 8, 8, 16), DataflowKind::Canonical, 0.03f),
+          layer(gemmLayer("fc3", 8, 4, 8), DataflowKind::Canonical, 0.05f)},
+         4, 4});
+
+    all.push_back({"conv_stride2",
+                   "stride-2 3x3 downsampling conv (16ch 14x14 -> 32ch 7x7)",
+                   {layer(convLayer("down_3x3", 16, 14, 32, 3, 2, 1),
+                          DataflowKind::ChannelParallel)},
+                   8, 8});
+
     return all;
 }
 
@@ -140,6 +164,21 @@ std::optional<ScenarioRun>
 runScenario(const Scenario &scenario, const ScenarioOptions &opts,
             std::string *error)
 {
+    return runScenario(scenario, opts, error,
+                       [](DataflowKind kind, const LayerSpec &layer, int aw,
+                          int ah, std::string *err) {
+                           return planLayer(kind, layer, aw, ah, err);
+                       });
+}
+
+std::optional<ScenarioRun>
+runScenario(const Scenario &scenario, const ScenarioOptions &opts,
+            std::string *error, const PlanFn &plan)
+{
+    if (scenario.layers.empty()) {
+        if (error) *error = "scenario '" + scenario.name + "' has no layers";
+        return std::nullopt;
+    }
     ScenarioRun run;
     run.aw = opts.aw > 0 ? opts.aw : scenario.default_aw;
     run.ah = opts.ah > 0 ? opts.ah : scenario.default_ah;
@@ -175,30 +214,63 @@ runScenario(const Scenario &scenario, const ScenarioOptions &opts,
     ropts.seed = opts.seed;
     ropts.trace_events = opts.trace_events;
 
-    std::vector<ChainStep> steps;
+    // Plan every layer up front (through the injected plan source) so the
+    // chain below is pure execution: step i's oActs materialise directly in
+    // step i+1's concordant input layout (the paper's co-switch).
+    std::vector<LayerPlan> plans;
     for (const ScenarioLayer &sl : scenario.layers) {
         const DataflowKind kind =
             override_kind ? *override_kind : sl.dataflow;
-        const std::optional<NestMapping> mapping =
-            buildMapping(kind, sl.layer, run.aw, run.ah, error);
-        if (!mapping) return std::nullopt;
+        std::optional<LayerPlan> p =
+            plan(kind, sl.layer, run.aw, run.ah, error);
+        if (!p) return std::nullopt;
+        plans.push_back(std::move(*p));
+    }
+
+    std::vector<ChainStep> steps;
+    for (size_t i = 0; i < scenario.layers.size(); ++i) {
         ChainStep step;
-        step.layer = sl.layer;
-        step.mapping = *mapping;
-        step.quant.multiplier = sl.multiplier;
+        step.layer = scenario.layers[i].layer;
+        step.mapping = plans[i].mapping;
+        step.out_layout = i + 1 < plans.size() ? plans[i + 1].in_layout
+                                               : plans.back().out_layout;
+        step.quant.multiplier = scenario.layers[i].multiplier;
         steps.push_back(std::move(step));
     }
+    ropts.in_layout = plans.front().in_layout;
 
     if (!opts.layout.empty() && opts.layout != "concordant") {
         const std::optional<Layout> in = tryParseLayout(opts.layout, error);
         if (!in) return std::nullopt;
+        const LayerSpec &first = scenario.layers.front().layer;
         const std::string why =
-            layoutDimError(*in, scenario.layers.front().layer);
+            layoutDimError(*in, first, iactExtents(first),
+                           first.type == OpType::Gemm ? "[M,K] iActs"
+                                                      : "[N,C,H,W] iActs");
         if (!why.empty()) {
             if (error) *error = why;
             return std::nullopt;
         }
         ropts.in_layout = *in;
+    }
+
+    if (!opts.out_layout.empty() && opts.out_layout != "concordant") {
+        const std::optional<Layout> out =
+            tryParseLayout(opts.out_layout, error);
+        if (!out) return std::nullopt;
+        const LayerSpec &last = scenario.layers.back().layer;
+        // oAct layouts are written in next-layer iAct space (RIR: the pong
+        // buffer holds the next layer's inputs); validate against the same
+        // binding FeatherAccelerator::run applies.
+        const std::string why = layoutDimError(
+            *out, last, oactIactExtents(last),
+            last.type == OpType::Gemm ? "oActs (next layer's [M,K] iActs)"
+                                      : "oActs (next layer's [C,H,W] iActs)");
+        if (!why.empty()) {
+            if (error) *error = why;
+            return std::nullopt;
+        }
+        steps.back().out_layout = *out;
     }
 
     run.chain = runChain(steps, ropts);

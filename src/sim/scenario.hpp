@@ -11,6 +11,7 @@
  * against tensor/reference_ops via sim::runLayer / sim::runChain.
  */
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -61,14 +62,29 @@ struct ScenarioOptions
     int ah = 0;
     std::string dataflow;              ///< empty = per-layer family
     std::string layout = "concordant"; ///< first layer's iAct layout
+    /** Last layer's oAct layout; "concordant" derives it from the mapping.
+     *  This is the Fig. 10 "re-target the reduction to different StaB
+     *  banks" knob: same routes, different bank assignment. */
+    std::string out_layout = "concordant";
     uint64_t seed = 2024;
     size_t trace_events = 0;
 };
 
 /**
+ * Source of per-layer planning artifacts. runScenario consults it for every
+ * (dataflow, layer, aw, ah) point; the default is a plain planLayer call,
+ * and serve::PlanCache injects its memoizing lookup through the same
+ * signature (sim stays below serve in the layering).
+ */
+using PlanFn = std::function<std::optional<LayerPlan>(
+    DataflowKind kind, const LayerSpec &layer, int aw, int ah,
+    std::string *error)>;
+
+/**
  * Run @p scenario under @p opts, honouring per-layer dataflow families
  * unless opts.dataflow overrides them; opts.layout replaces the first
- * layer's input layout ("concordant" derives it from the mapping).
+ * layer's input layout and opts.out_layout the last layer's output layout
+ * ("concordant" derives them from the mapping).
  * Returns nullopt with @p error set when an override does not apply
  * (unknown dataflow name, unparsable layout, or a mapping that fails
  * validation).
@@ -76,6 +92,11 @@ struct ScenarioOptions
 std::optional<ScenarioRun> runScenario(const Scenario &scenario,
                                        const ScenarioOptions &opts = {},
                                        std::string *error = nullptr);
+
+/** As above, but planning goes through @p plan (e.g. a shared cache). */
+std::optional<ScenarioRun> runScenario(const Scenario &scenario,
+                                       const ScenarioOptions &opts,
+                                       std::string *error, const PlanFn &plan);
 
 } // namespace sim
 } // namespace feather

@@ -288,6 +288,53 @@ TEST(Driver, ConcordantLayoutsFollowTheMapping)
     EXPECT_EQ(concordantInputLayout(g, *gm, 4).toString(), "MK_K4");
 }
 
+TEST(Driver, PlanLayerBundlesMappingAndConcordantLayouts)
+{
+    const LayerSpec conv = convLayer("c", 8, 14, 16, 3, 1, 1);
+    const auto plan =
+        planLayer(DataflowKind::ChannelParallel, conv, 4, 4);
+    ASSERT_TRUE(plan.has_value());
+    const auto mapping = buildMapping(DataflowKind::ChannelParallel, conv, 4, 4);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(plan->mapping.toString(), mapping->toString());
+    EXPECT_EQ(plan->in_layout.toString(),
+              concordantInputLayout(conv, *mapping, 4).toString());
+    EXPECT_EQ(plan->out_layout.toString(),
+              concordantOutputLayout(conv, *mapping, 4).toString());
+}
+
+TEST(ScenarioRegistry, OutLayoutOverrideRetargetsLastLayer)
+{
+    const Scenario *s = findScenario("gemm");
+    ASSERT_NE(s, nullptr);
+    // Re-target the oActs to M-major banks: same reduction, different
+    // banks, still bit-exact (the Fig. 10 zero-cost RIR switch).
+    ScenarioOptions opts;
+    opts.out_layout = "MK_M4";
+    std::string error;
+    const std::optional<ScenarioRun> run = runScenario(*s, opts, &error);
+    ASSERT_TRUE(run.has_value()) << error;
+    EXPECT_TRUE(run->chain.bitExact());
+    EXPECT_EQ(run->chain.layers.back().out_layout.toString(), "MK_M4");
+
+    ScenarioOptions bad;
+    bad.out_layout = "HWC_C4"; // conv dims on a GEMM's oActs
+    error.clear();
+    EXPECT_FALSE(runScenario(*s, bad, &error).has_value());
+    EXPECT_NE(error.find("HWC_C4"), std::string::npos);
+}
+
+TEST(ScenarioRegistry, EmptyScenarioIsRejectedCleanly)
+{
+    Scenario empty;
+    empty.name = "empty";
+    empty.default_aw = 4;
+    empty.default_ah = 4;
+    std::string error;
+    EXPECT_FALSE(runScenario(empty, {}, &error).has_value());
+    EXPECT_NE(error.find("no layers"), std::string::npos);
+}
+
 TEST(Driver, TryParseLayoutRejectsMalformedStrings)
 {
     std::string error;
