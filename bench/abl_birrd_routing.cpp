@@ -42,6 +42,16 @@ BM_RouteUniformReduction(benchmark::State &state)
         auto cfg = router.route(RouteRequest::reduction(groups, dests));
         benchmark::DoNotOptimize(cfg);
     }
+
+    // Deterministic search-effort counter for the CI perf gate: nodes a
+    // fresh router explores on the canonical (rot=0) request. Machine- and
+    // iteration-count-independent, unlike the wall time above.
+    BirrdRouter probe(topo, 42);
+    std::vector<int> dests(static_cast<size_t>(num_groups));
+    std::iota(dests.begin(), dests.end(), 0);
+    auto cfg = probe.route(RouteRequest::reduction(groups, dests));
+    benchmark::DoNotOptimize(cfg);
+    state.counters["search_nodes"] = double(probe.stats().nodes_explored);
 }
 
 void
@@ -77,6 +87,13 @@ BM_RouteFallbackDfs(benchmark::State &state)
         auto cfg = router.route(RouteRequest::reduction(groups, dests));
         benchmark::DoNotOptimize(cfg);
     }
+
+    // Deterministic fallback-effort counter (see BM_RouteUniformReduction).
+    BirrdRouter probe(topo, 42);
+    probe.setUsePathSearch(false);
+    auto cfg = probe.route(RouteRequest::reduction(groups, {0, 2, 4, 6}));
+    benchmark::DoNotOptimize(cfg);
+    state.counters["search_nodes"] = double(probe.stats().nodes_explored);
 }
 
 void

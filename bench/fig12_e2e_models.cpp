@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fig. 12-style end-to-end comparison (google-benchmark): whole model
+ * graphs scheduled with per-layer dataflow/layout switching versus every
+ * fixed dataflow, on the cycle-level simulator.
+ *
+ * Each benchmark runs the full scheduler pipeline (candidate enumeration
+ * and evaluation, DP/greedy/fixed selection, measured chain run) for one
+ * (model, schedule) pair and reports two deterministic counters next to
+ * the wall time:
+ *
+ *   cycles      measured chain cycles of the chosen schedule
+ *   est_cycles  the scheduler's objective (node estimates + reorder costs)
+ *
+ * The counters are machine-independent, which is what the CI perf gate
+ * (ci/bench_gate.py) compares against the checked-in baseline — wall
+ * times are uploaded for trajectory but not gated.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "model/scheduler.hpp"
+
+using namespace feather;
+
+namespace {
+
+void
+runSchedule(benchmark::State &state, const std::string &model_name,
+            const std::string &schedule_name)
+{
+    const model::ModelGraph *graph = model::findModel(model_name);
+    if (!graph) {
+        state.SkipWithError(("unknown model " + model_name).c_str());
+        return;
+    }
+    const auto policy = model::parseSchedule(schedule_name);
+    if (!policy) {
+        state.SkipWithError(("unknown schedule " + schedule_name).c_str());
+        return;
+    }
+
+    model::SchedulerOptions opts;
+    opts.num_threads = 4;
+    int64_t cycles = 0;
+    int64_t est_cycles = 0;
+    for (auto _ : state) {
+        model::Scheduler scheduler(opts);
+        std::string error;
+        const auto eval = scheduler.evaluate(*graph, &error);
+        if (!eval) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        const auto result =
+            scheduler.schedule(*graph, *eval, *policy, &error);
+        if (!result) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        if (!result->bitExact()) {
+            state.SkipWithError("schedule failed bit-exact verification");
+            return;
+        }
+        cycles = result->cycles;
+        est_cycles = result->est_total;
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["cycles"] = double(cycles);
+    state.counters["est_cycles"] = double(est_cycles);
+}
+
+void
+registerAll()
+{
+    static const char *schedules[] = {"per-layer", "greedy", "fixed:ws",
+                                      "fixed:cp", "fixed:wp"};
+    for (const model::ModelGraph &g : model::builtinModels()) {
+        for (const char *schedule : schedules) {
+            benchmark::RegisterBenchmark(
+                ("E2E/" + g.name + "/" + schedule).c_str(),
+                [name = g.name, schedule](benchmark::State &state) {
+                    runSchedule(state, name, schedule);
+                })
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

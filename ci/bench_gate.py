@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Merge Google Benchmark JSON outputs and gate on perf regressions.
+
+Usage:
+  bench_gate.py merge -o MERGED.json RAW.json [RAW.json ...]
+  bench_gate.py compare BASELINE.json CURRENT.json [--threshold 0.15]
+                [--gate-time]
+
+`merge` combines one or more `--benchmark_format=json` outputs into a
+single file: the first input's `context` plus the concatenated
+`benchmarks` arrays (suites stay distinguishable through their benchmark
+names). This is what CI uploads as BENCH_e2e.json / BENCH_micro.json.
+
+`compare` fails (exit 1) when any benchmark present in both files
+regresses by more than --threshold on a *gated metric*. Gated metrics are
+the user counters (e.g. the simulator's deterministic `cycles` /
+`est_cycles` counters), which are machine-independent, so a 15% gate is
+stable on shared CI runners. Wall-clock metrics (real_time / cpu_time)
+are noisy across runners and are only reported as warnings unless
+--gate-time is passed.
+
+A benchmark that *errors out* in the current run (SkipWithError sets
+error_occurred, and the counters vanish) fails the gate, as does a gated
+metric that is present in the baseline but missing from the current run —
+silently losing a metric must not read as green. Benchmarks that exist on
+only one side are reported but never fail the gate, so adding or retiring
+a whole benchmark does not require touching the baseline in the same
+commit.
+
+No third-party dependencies; stdlib json/argparse only.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys of a google-benchmark entry that are not user counters.
+STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "label",
+    "error_occurred", "error_message",
+}
+
+TIME_KEYS = ("real_time", "cpu_time")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def benchmarks(doc):
+    return {
+        b["name"]: b
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def counters(entry):
+    return {
+        k: v
+        for k, v in entry.items()
+        if k not in STANDARD_KEYS and isinstance(v, (int, float))
+    }
+
+
+def merge(args):
+    docs = [load(p) for p in args.inputs]
+    merged = {"context": docs[0].get("context", {}), "benchmarks": []}
+    for doc in docs:
+        merged["benchmarks"].extend(doc.get("benchmarks", []))
+    with open(args.output, "w") as f:
+        json.dump(merged, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"merged {len(args.inputs)} file(s), "
+          f"{len(merged['benchmarks'])} benchmark(s) -> {args.output}")
+    return 0
+
+
+def compare(args):
+    base = benchmarks(load(args.baseline))
+    cur = benchmarks(load(args.current))
+    failures = []
+    warnings = []
+
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            warnings.append(f"NEW       {name} (not in baseline; not gated)")
+            continue
+        if name not in cur:
+            warnings.append(f"RETIRED   {name} (baseline only; not gated)")
+            continue
+        if cur[name].get("error_occurred"):
+            failures.append(f"ERRORED   {name}: "
+                            f"{cur[name].get('error_message', 'unknown')}")
+            continue
+        gated = dict(counters(base[name]))
+        if args.gate_time:
+            for key in TIME_KEYS:
+                if key in base[name]:
+                    gated[key] = base[name][key]
+        for key, was in sorted(gated.items()):
+            now = cur[name].get(key)
+            if now is None:
+                failures.append(
+                    f"DROPPED   {name}:{key} (gated metric present in the "
+                    "baseline but missing from the current run)")
+                continue
+            if was <= 0:
+                # A zero baseline has no ratio, but a deterministic
+                # counter growing from 0 is still a regression — do not
+                # let it slip through ungated.
+                if now > 0:
+                    failures.append(f"REGRESSED {name}:{key} "
+                                    f"{was:g} -> {now:g}")
+                continue
+            ratio = now / was
+            line = (f"{name}:{key} {was:g} -> {now:g} "
+                    f"({100.0 * (ratio - 1.0):+.1f}%)")
+            if ratio > 1.0 + args.threshold:
+                failures.append("REGRESSED " + line)
+            elif ratio < 1.0 - args.threshold:
+                warnings.append(f"IMPROVED  {line} "
+                                "(consider refreshing the baseline)")
+        # Wall-clock drift is informational unless --gate-time.
+        if not args.gate_time:
+            for key in TIME_KEYS:
+                was, now = base[name].get(key), cur[name].get(key)
+                if not was or not now or was <= 0:
+                    continue
+                ratio = now / was
+                if abs(ratio - 1.0) > args.threshold:
+                    warnings.append(
+                        f"TIME      {name}:{key} {was:.0f} -> {now:.0f} "
+                        f"({100.0 * (ratio - 1.0):+.1f}%; not gated)")
+
+    for line in warnings:
+        print(line)
+    for line in failures:
+        print(line, file=sys.stderr)
+    gated_total = sum(len(counters(b)) for b in base.values())
+    print(f"compared {len(set(base) & set(cur))} benchmark(s), "
+          f"{gated_total} gated metric(s), threshold "
+          f"{100.0 * args.threshold:.0f}%: "
+          f"{len(failures)} regression(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge benchmark JSON outputs")
+    p_merge.add_argument("-o", "--output", required=True)
+    p_merge.add_argument("inputs", nargs="+")
+    p_merge.set_defaults(func=merge)
+
+    p_cmp = sub.add_parser("compare", help="gate current against baseline")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("--threshold", type=float, default=0.15,
+                       help="allowed relative regression (default 0.15)")
+    p_cmp.add_argument("--gate-time", action="store_true",
+                       help="also gate real_time/cpu_time (noisy on "
+                            "shared runners; off by default)")
+    p_cmp.set_defaults(func=compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

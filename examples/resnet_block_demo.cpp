@@ -1,59 +1,78 @@
 /**
  * @file
- * Run a ResNet-50 bottleneck block (1x1 -> 3x3 -> 1x1) end-to-end on the
- * FEATHER cycle simulator at 8x8, chaining layers through the StaB
- * ping-pong with a *different* activation layout per layer — the paper's
- * layer-granularity (dataflow, layout) co-switching — and verify the final
- * activations bit-exactly against the reference operators.
+ * Schedule a ResNet-50 bottleneck block (1x1 -> 3x3 -> 1x1) end-to-end
+ * with the per-layer dataflow/layout scheduler: every layer's dataflow
+ * candidates are simulated, switching costs (BIRRD reorder cycles between
+ * discordant layouts) price the edges, and a dynamic-programming shortest
+ * path picks the per-layer schedule — which is then executed as one chain
+ * through the StaB ping-pong and verified bit-exactly against the
+ * reference operators.
  *
- * The block is the `resnet_block` entry of the shared scenario registry
- * (also runnable as `feather_cli --workload resnet_block`).
+ * The block is the `resnet_block` entry of the built-in model registry
+ * (also runnable as `feather_cli --model resnet_block`).
  *
  *   $ ./resnet_block_demo
  */
 
 #include <cstdio>
 
-#include "sim/scenario.hpp"
+#include "model/scheduler.hpp"
 
 using namespace feather;
 
 int
 main()
 {
-    const sim::Scenario *scenario = sim::findScenario("resnet_block");
-    if (!scenario) {
-        std::fprintf(stderr, "resnet_block scenario missing from registry\n");
+    const model::ModelGraph *graph = model::findModel("resnet_block");
+    if (!graph) {
+        std::fprintf(stderr, "resnet_block missing from model registry\n");
         return 2;
     }
 
+    model::SchedulerOptions opts;
+    opts.num_threads = 4;
+    model::Scheduler scheduler(opts);
     std::string error;
-    const auto run = sim::runScenario(*scenario, {}, &error);
-    if (!run) {
-        std::fprintf(stderr, "run failed: %s\n", error.c_str());
+    const auto cmp = scheduler.compare(
+        *graph, model::SchedulePolicy{model::ScheduleKind::PerLayer,
+                                      sim::DataflowKind::Canonical},
+        &error);
+    if (!cmp) {
+        std::fprintf(stderr, "scheduling failed: %s\n", error.c_str());
         return 2;
     }
 
-    std::printf("ResNet bottleneck on %dx%d FEATHER (dataflow+layout "
-                "co-switched per layer):\n",
-                run->aw, run->ah);
-    const int num_pes = run->aw * run->ah;
-    for (size_t i = 0; i < run->chain.layers.size(); ++i) {
-        const sim::RunResult &r = run->chain.layers[i];
-        std::printf("  %-11s %8lld cycles  util %5.1f%%  cols %s, oActs -> "
-                    "%s\n",
-                    scenario->layers[i].layer.name.c_str(),
-                    (long long)r.stats.cycles,
-                    100.0 * r.stats.utilization(num_pes),
-                    r.mapping.cols.front().dim == Dim::Q ? "Q-parallel"
-                                                         : "C-parallel",
-                    r.out_layout.toString().c_str());
+    const model::ScheduleResult &best = cmp->primary();
+    std::printf("ResNet bottleneck on %dx%d FEATHER, per-layer "
+                "(dataflow, layout) schedule:\n",
+                best.aw, best.ah);
+    const int num_pes = best.aw * best.ah;
+    for (const model::LayerChoice &l : best.layers) {
+        std::printf("  %-11s %-15s %8lld cycles  util %5.1f%%  "
+                    "reorder-in %4lld  oActs -> %s\n",
+                    l.layer.c_str(), sim::toString(l.dataflow).c_str(),
+                    (long long)l.cycles,
+                    l.cycles > 0
+                        ? 100.0 * double(l.macs) /
+                              (double(l.cycles) * num_pes)
+                        : 0.0,
+                    (long long)l.reorder_cycles,
+                    l.plan.out_layout.toString().c_str());
     }
 
-    std::printf("  total bank-conflict stalls: %lld (concordant layouts "
-                "throughout)\n",
-                (long long)run->chain.totalReadStalls());
+    std::printf("  schedules measured:");
+    for (const model::ScheduleResult &r : cmp->schedules) {
+        std::printf(" %s=%lld", r.schedule.c_str(), (long long)r.cycles);
+    }
+    std::printf("\n");
+
+    const int best_fixed = cmp->bestFixed();
+    if (best_fixed >= 0) {
+        std::printf("  vs best fixed dataflow (%s): %.2fx\n",
+                    cmp->schedules[size_t(best_fixed)].schedule.c_str(),
+                    cmp->speedupVsBestFixed());
+    }
     std::printf("  final activations bit-exact: %s\n",
-                run->chain.bitExact() ? "yes" : "NO");
-    return run->chain.bitExact() ? 0 : 1;
+                best.bitExact() ? "yes" : "NO");
+    return best.bitExact() ? 0 : 1;
 }

@@ -1,0 +1,24 @@
+#pragma once
+
+/**
+ * @file
+ * Tiny shared file-IO helpers for the CLI surfaces (batch and model
+ * report writers), so error handling lives in one place.
+ */
+
+#include <fstream>
+#include <string>
+
+namespace feather {
+
+/** Write @p content to @p path, truncating; false on any IO failure. */
+inline bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << content;
+    return bool(out);
+}
+
+} // namespace feather

@@ -1,5 +1,6 @@
 #include "common/table.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
@@ -90,6 +91,40 @@ std::string
 fmtPercent(double v, int precision)
 {
     return fmtDouble(v * 100.0, precision) + "%";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvSafe(std::string s)
+{
+    for (char &c : s) {
+        if (c == ',' || c == '\n') c = ';';
+    }
+    return s;
 }
 
 } // namespace feather

@@ -42,4 +42,12 @@ std::string fmtRatio(double v, int precision = 2);
 /** Format a fraction as a percentage like "98.3%". */
 std::string fmtPercent(double v, int precision = 1);
 
+/** Minimal JSON string escaping (quotes, backslashes, control chars) for
+ *  the hand-rolled single-line JSON reports. */
+std::string jsonEscape(const std::string &s);
+
+/** Replace ','/'\n' with ';' so a cell survives Table::toCsv (which does
+ *  no quoting). */
+std::string csvSafe(std::string s);
+
 } // namespace feather

@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Whole-model workload graphs for the per-layer dataflow/layout scheduler.
+ *
+ * A ModelGraph is a linear chain of MAC layers (conv / depthwise /
+ * pointwise / GEMM) whose inter-layer tensor bindings are validated up
+ * front: layer i's output tensor *is* layer i+1's input tensor, exactly as
+ * the StaB ping-pong threads activations at runtime. Graphs come from the
+ * built-in registry (resnet_block, mobilenet_slice, bert_mlp) or from a
+ * simple text format:
+ *
+ *   # '#' starts a comment, blank lines are skipped
+ *   model tiny_cnn          # optional; defaults to the file's stem
+ *   aw 8                    # optional default array size
+ *   ah 8
+ *   conv      name=stem c=8 hw=14 m=16 rs=3 pad=1
+ *   depthwise name=dw   c=16 hw=14 rs=3 pad=1 qm=0.05
+ *   pointwise name=pw   c=16 hw=14 m=32
+ *
+ * Layer lines are `<type> key=value...` with types conv, depthwise,
+ * pointwise and gemm. Conv keys: c, m, h/w (or hw), r/s (or rs), stride,
+ * pad, qm, name. GEMM keys: m, n, k, qm, name. `qm` is the requantization
+ * multiplier applied after the layer (default 0.02).
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/shapes.hpp"
+
+namespace feather {
+namespace model {
+
+/** One layer of a model graph. */
+struct ModelLayer
+{
+    LayerSpec spec;
+    float multiplier = 0.02f; ///< QM rescale applied after this layer
+};
+
+/** A linear chain of MAC layers with validated tensor bindings. */
+struct ModelGraph
+{
+    std::string name;
+    std::string summary;
+    std::vector<ModelLayer> layers;
+    int default_aw = 8;
+    int default_ah = 8;
+
+    /**
+     * Check the inter-layer tensor bindings: every layer is a MAC
+     * operator, consecutive conv-like layers agree on channels and
+     * spatial extents (m_i == c_{i+1}, outH/outW == h/w), consecutive
+     * GEMMs agree on [M,N] -> [M,K], and conv<->GEMM transitions are
+     * rejected. @return empty string if valid, else a description.
+     */
+    std::string validate() const;
+
+    /** Total MAC count over all layers. */
+    int64_t totalMacs() const;
+};
+
+/** All built-in model graphs, in presentation order. */
+const std::vector<ModelGraph> &builtinModels();
+
+/** Lookup a built-in graph by name; nullptr when unknown. */
+const ModelGraph *findModel(const std::string &name);
+
+/** Built-in model names, in presentation order. */
+std::vector<std::string> modelNames();
+
+/**
+ * Parse the text format described above. Returns nullopt with @p error
+ * set (including the line number) on the first malformed line or when the
+ * resulting graph fails validate().
+ */
+std::optional<ModelGraph> parseModelText(const std::string &text,
+                                         const std::string &default_name,
+                                         std::string *error = nullptr);
+
+/**
+ * Resolve @p name_or_path: a built-in graph name first, else a readable
+ * model file. Returns nullopt with @p error set (listing the built-in
+ * names) when neither resolves.
+ */
+std::optional<ModelGraph> loadModel(const std::string &name_or_path,
+                                    std::string *error = nullptr);
+
+} // namespace model
+} // namespace feather

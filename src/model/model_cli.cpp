@@ -1,0 +1,180 @@
+#include "model/model_cli.hpp"
+
+#include <cstdio>
+
+#include "common/io.hpp"
+#include "common/parse.hpp"
+#include "common/table.hpp"
+#include "model/report.hpp"
+#include "sim/cli.hpp"
+
+namespace feather {
+namespace model {
+
+bool
+isModelInvocation(const std::vector<std::string> &args)
+{
+    for (const std::string &arg : args) {
+        if (arg == "--model" || arg == "--schedule" ||
+            arg == "--list-models") {
+            return true;
+        }
+    }
+    return false;
+}
+
+ModelCliParse
+parseModelCli(const std::vector<std::string> &args)
+{
+    ModelCliParse parse;
+    ModelCliOptions &o = parse.opts;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&](std::string *out) {
+            if (i + 1 >= args.size()) {
+                parse.error = arg + " needs a value";
+                return false;
+            }
+            *out = args[++i];
+            return true;
+        };
+        const auto uintValue = [&](uint64_t *out) {
+            std::string text;
+            if (!value(&text)) return false;
+            if (!parseUint(text, out)) {
+                parse.error = arg + " needs a non-negative integer, got '" +
+                              text + "'";
+                return false;
+            }
+            return true;
+        };
+
+        uint64_t n = 0;
+        if (arg == "--model") {
+            if (!value(&o.model)) return parse;
+        } else if (arg == "--schedule") {
+            if (!value(&o.schedule)) return parse;
+        } else if (arg == "--aw" || arg == "--ah") {
+            if (!uintValue(&n)) return parse;
+            if (n < 1 || n > 65536) {
+                parse.error = arg + " must be in [1, 65536], got " +
+                              std::to_string(n);
+                return parse;
+            }
+            (arg == "--aw" ? o.aw : o.ah) = int(n);
+        } else if (arg == "--seed") {
+            if (!uintValue(&o.seed)) return parse;
+        } else if (arg == "--jobs") {
+            if (!uintValue(&n)) return parse;
+            if (n < 1 || n > 256) {
+                parse.error = "--jobs must be in [1, 256], got " +
+                              std::to_string(n);
+                return parse;
+            }
+            o.jobs = int(n);
+        } else if (arg == "--report-csv") {
+            if (!value(&o.report_csv)) return parse;
+        } else if (arg == "--report-json") {
+            if (!value(&o.report_json)) return parse;
+        } else if (arg == "--list-models") {
+            o.list_models = true;
+        } else if (arg == "--help" || arg == "-h") {
+            o.help = true;
+        } else {
+            parse.error = "unknown flag '" + arg +
+                          "' in model mode (--model runs accept "
+                          "--schedule, --aw, --ah, --seed, --jobs, "
+                          "--report-csv, --report-json)";
+            return parse;
+        }
+    }
+    if (!parse.ok()) return parse;
+    if (!o.help && !o.list_models && o.model.empty()) {
+        parse.error = "model mode needs --model NAME|FILE "
+                      "(see --list-models)";
+    }
+    return parse;
+}
+
+int
+cliMain(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+    const ModelCliParse parse = parseModelCli(args);
+    if (!parse.ok()) {
+        std::fprintf(stderr, "error: %s\n\n%s", parse.error.c_str(),
+                     sim::usage().c_str());
+        return 2;
+    }
+    const ModelCliOptions &o = parse.opts;
+    if (o.help) {
+        std::printf("%s", sim::usage().c_str());
+        return 0;
+    }
+    if (o.list_models) {
+        Table t({"model", "layers", "array", "macs", "summary"});
+        for (const ModelGraph &g : builtinModels()) {
+            t.addRow({g.name, std::to_string(g.layers.size()),
+                      strCat(g.default_aw, "x", g.default_ah),
+                      std::to_string(g.totalMacs()), g.summary});
+        }
+        std::printf("%s", t.toString().c_str());
+        return 0;
+    }
+
+    std::string error;
+    const std::optional<ModelGraph> graph = loadModel(o.model, &error);
+    if (!graph) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    const std::optional<SchedulePolicy> policy =
+        parseSchedule(o.schedule, &error);
+    if (!policy) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
+    SchedulerOptions sopts;
+    sopts.aw = o.aw;
+    sopts.ah = o.ah;
+    sopts.seed = o.seed;
+    sopts.num_threads = o.jobs;
+    Scheduler scheduler(sopts);
+    const std::optional<ScheduleComparison> cmp =
+        scheduler.compare(*graph, *policy, &error);
+    if (!cmp) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
+    ScheduleReport report{*cmp};
+    std::printf("model %s on %dx%d FEATHER (schedule %s, seed %llu, "
+                "%d worker thread(s))\n",
+                graph->name.c_str(), report.comparison.primary().aw,
+                report.comparison.primary().ah, o.schedule.c_str(),
+                (unsigned long long)o.seed, o.jobs);
+    std::printf("%s", report.layerTable().c_str());
+    std::printf("schedule ranking (* = selected):\n%s",
+                report.comparisonTable().c_str());
+    std::printf("%s", report.summaryLine().c_str());
+
+    if (!o.report_csv.empty() &&
+        !writeFile(o.report_csv, report.toCsv())) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     o.report_csv.c_str());
+        return 2;
+    }
+    if (!o.report_json.empty() &&
+        !writeFile(o.report_json, report.toJson())) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     o.report_json.c_str());
+        return 2;
+    }
+    return report.comparison.primary().bitExact() ? 0 : 1;
+}
+
+} // namespace model
+} // namespace feather

@@ -1,0 +1,44 @@
+#pragma once
+
+/**
+ * @file
+ * Structured rendering of a ScheduleComparison.
+ *
+ * Three forms, mirroring serve::BatchReport: an aligned console table
+ * (per-layer choices of the primary schedule plus a schedule ranking),
+ * CSV (one row per (schedule, layer) — for CI artifacts / spreadsheets),
+ * and single-line JSON (primary schedule + alternatives + summary). The
+ * CSV column set and JSON key set are locked by golden-file schema tests
+ * (tests/golden/) so downstream parsers do not rot.
+ */
+
+#include <string>
+
+#include "model/scheduler.hpp"
+
+namespace feather {
+namespace model {
+
+/** Rendering wrapper over one ScheduleComparison. */
+struct ScheduleReport
+{
+    ScheduleComparison comparison;
+
+    /** One CSV row per (schedule, layer), primary schedule first. */
+    std::string toCsv() const;
+
+    /** The whole comparison as one line of JSON. */
+    std::string toJson() const;
+
+    /** Aligned per-layer table of the primary schedule. */
+    std::string layerTable() const;
+
+    /** Aligned ranking of every schedule against the best fixed one. */
+    std::string comparisonTable() const;
+
+    /** One-line verdict (totals, speedup, bit-exactness). */
+    std::string summaryLine() const;
+};
+
+} // namespace model
+} // namespace feather

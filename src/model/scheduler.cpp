@@ -1,0 +1,569 @@
+#include "model/scheduler.hpp"
+
+#include <exception>
+#include <limits>
+#include <unordered_set>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "dataflow/mapping.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace feather {
+namespace model {
+
+namespace {
+
+/** The dataflow families the scheduler enumerates, in display-priority
+ *  order (a candidate shared by several families is named after the
+ *  first). */
+constexpr sim::DataflowKind kFamilies[] = {
+    sim::DataflowKind::Canonical,
+    sim::DataflowKind::ChannelParallel,
+    sim::DataflowKind::WindowParallel,
+};
+
+/** Dedup key of a planning point: same mapping + layouts = same candidate. */
+std::string
+planKey(const sim::LayerPlan &plan)
+{
+    return plan.mapping.toString() + "|" + plan.in_layout.toString() + "|" +
+           plan.out_layout.toString();
+}
+
+/** Visit every coordinate of @p extents (dims with extent > 0). */
+template <typename Fn>
+void
+forEachCoord(const Extents &extents, Fn &&fn)
+{
+    std::vector<Dim> dims;
+    for (int d = 0; d < kNumDims; ++d) {
+        if (extents[Dim(d)] > 0) dims.push_back(Dim(d));
+    }
+    Coord c;
+    const auto walk = [&](const auto &self, size_t depth) -> void {
+        if (depth == dims.size()) {
+            fn(c);
+            return;
+        }
+        for (int64_t i = 0; i < extents[dims[depth]]; ++i) {
+            c[dims[depth]] = i;
+            self(self, depth + 1);
+        }
+    };
+    walk(walk, 0);
+}
+
+} // namespace
+
+int64_t
+reorderCost(const Layout &src, const Layout &dst, const Extents &extents)
+{
+    if (src == dst) return 0;
+    const BoundLayout from(src, extents);
+    const BoundLayout to(dst, extents);
+    // One read cycle per distinct source line feeding each destination
+    // line; writes overlap with reads in the BIRRD pipeline.
+    std::vector<std::unordered_set<int64_t>> sources(size_t(to.numLines()));
+    forEachCoord(extents, [&](const Coord &c) {
+        sources[size_t(to.addrOf(c).line)].insert(from.addrOf(c).line);
+    });
+    int64_t cycles = 0;
+    for (const auto &lines : sources) cycles += int64_t(lines.size());
+    return cycles;
+}
+
+std::optional<SchedulePolicy>
+parseSchedule(const std::string &name, std::string *error)
+{
+    SchedulePolicy policy;
+    if (name == "per-layer" || name.empty()) {
+        policy.kind = ScheduleKind::PerLayer;
+        return policy;
+    }
+    if (name == "greedy") {
+        policy.kind = ScheduleKind::Greedy;
+        return policy;
+    }
+    const std::string prefix = "fixed:";
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+        const std::optional<sim::DataflowKind> kind =
+            sim::parseDataflow(name.substr(prefix.size()));
+        if (kind) {
+            policy.kind = ScheduleKind::Fixed;
+            policy.fixed = *kind;
+            return policy;
+        }
+    }
+    if (error) {
+        *error = "unknown schedule '" + name +
+                 "' (expected per-layer, greedy, or fixed:<ws|cp|wp>)";
+    }
+    return std::nullopt;
+}
+
+std::string
+toString(const SchedulePolicy &policy)
+{
+    switch (policy.kind) {
+    case ScheduleKind::PerLayer: return "per-layer";
+    case ScheduleKind::Greedy: return "greedy";
+    case ScheduleKind::Fixed: return "fixed:" + sim::toString(policy.fixed);
+    }
+    return "?";
+}
+
+int
+ScheduleComparison::bestFixed() const
+{
+    int best = -1;
+    for (size_t i = 0; i < schedules.size(); ++i) {
+        if (schedules[i].schedule.compare(0, 6, "fixed:") != 0) continue;
+        if (best < 0 || schedules[i].cycles < schedules[size_t(best)].cycles) {
+            best = int(i);
+        }
+    }
+    return best;
+}
+
+double
+ScheduleComparison::speedupVsBestFixed() const
+{
+    const int best = bestFixed();
+    if (best < 0 || schedules.empty() || primary().cycles <= 0) return 0.0;
+    return double(schedules[size_t(best)].cycles) / double(primary().cycles);
+}
+
+Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts)
+{
+    if (opts_.num_threads < 1) opts_.num_threads = 1;
+}
+
+int
+Scheduler::resolvedAw(const ModelGraph &graph) const
+{
+    return opts_.aw > 0 ? opts_.aw : graph.default_aw;
+}
+
+int
+Scheduler::resolvedAh(const ModelGraph &graph) const
+{
+    return opts_.ah > 0 ? opts_.ah : graph.default_ah;
+}
+
+std::optional<Evaluation>
+Scheduler::evaluate(const ModelGraph &graph, std::string *error)
+{
+    const std::string why = graph.validate();
+    if (!why.empty()) {
+        if (error) *error = why;
+        return std::nullopt;
+    }
+    const int aw = resolvedAw(graph);
+    const int ah = resolvedAh(graph);
+    if (aw < 2 || !isPow2(uint64_t(aw))) {
+        if (error) {
+            *error = strCat("array width (--aw) must be a power of two >= 2"
+                            ", got ", aw);
+        }
+        return std::nullopt;
+    }
+    if (ah < 1) {
+        if (error) *error = "array height (--ah) must be >= 1";
+        return std::nullopt;
+    }
+
+    // Step 1: plan every (layer, family) point through the shared cache
+    // and collapse families that induce identical planning artifacts.
+    Evaluation eval;
+    for (const ModelLayer &ml : graph.layers) {
+        std::vector<Candidate> candidates;
+        std::string plan_error;
+        for (sim::DataflowKind kind : kFamilies) {
+            const std::optional<sim::LayerPlan> plan =
+                cache_.getOrPlan(kind, ml.spec, aw, ah, &plan_error);
+            if (!plan) continue;
+            bool merged = false;
+            for (Candidate &c : candidates) {
+                if (planKey(c.plan) == planKey(*plan)) {
+                    c.kinds.push_back(kind);
+                    merged = true;
+                    break;
+                }
+            }
+            if (merged) continue;
+            Candidate c;
+            c.kinds = {kind};
+            c.plan = *plan;
+            candidates.push_back(std::move(c));
+        }
+        if (candidates.empty()) {
+            if (error) {
+                *error = strCat("no dataflow family fits ", ml.spec.name,
+                                " on a ", aw, "x", ah, " array: ",
+                                plan_error);
+            }
+            return std::nullopt;
+        }
+        eval.layers.push_back(std::move(candidates));
+    }
+
+    // Step 2: simulate every unique candidate standalone, in parallel.
+    // Slots are pre-sized and seeds derived per flat index, so the result
+    // is bit-identical at any num_threads.
+    struct EvalSlot
+    {
+        size_t layer;
+        size_t cand;
+        uint64_t seed;
+        std::string error;
+    };
+    std::vector<EvalSlot> slots;
+    for (size_t li = 0; li < eval.layers.size(); ++li) {
+        for (size_t ci = 0; ci < eval.layers[li].size(); ++ci) {
+            slots.push_back({li, ci,
+                             Rng::deriveStream(opts_.seed, slots.size()),
+                             ""});
+        }
+    }
+    {
+        serve::ThreadPool pool(opts_.num_threads);
+        for (EvalSlot &slot : slots) {
+            pool.submit([this, &graph, &eval, &slot] {
+                const ModelLayer &ml = graph.layers[slot.layer];
+                Candidate &cand = eval.layers[slot.layer][slot.cand];
+                sim::RunOptions ropts;
+                ropts.aw = resolvedAw(graph);
+                ropts.ah = resolvedAh(graph);
+                ropts.seed = slot.seed;
+                ropts.mapping = cand.plan.mapping;
+                ropts.in_layout = cand.plan.in_layout;
+                ropts.out_layout = cand.plan.out_layout;
+                ropts.quant.multiplier = ml.multiplier;
+                try {
+                    const sim::RunResult r = sim::runLayer(ml.spec, ropts);
+                    cand.est_cycles = r.stats.cycles;
+                    cand.macs = r.stats.macs;
+                    cand.bit_exact = r.bitExact();
+                } catch (const std::exception &e) {
+                    slot.error = e.what();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const EvalSlot &slot : slots) {
+        if (slot.error.empty()) continue;
+        if (error) {
+            *error = strCat("evaluating ", graph.layers[slot.layer].spec.name,
+                            "/", sim::toString(
+                                     eval.layers[slot.layer][slot.cand]
+                                         .kinds.front()),
+                            " failed: ", slot.error);
+        }
+        return std::nullopt;
+    }
+
+    // Step 3: price every layer-to-layer hand-off once. The intermediate
+    // tensor of edge i is layer i's input.
+    eval.edges.resize(eval.layers.size());
+    for (size_t i = 1; i < eval.layers.size(); ++i) {
+        const Extents extents = iactExtents(graph.layers[i].spec);
+        eval.edges[i].resize(eval.layers[i - 1].size());
+        for (size_t p = 0; p < eval.layers[i - 1].size(); ++p) {
+            for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                eval.edges[i][p].push_back(
+                    reorderCost(eval.layers[i - 1][p].plan.out_layout,
+                                eval.layers[i][c].plan.in_layout, extents));
+            }
+        }
+    }
+    return eval;
+}
+
+bool
+Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
+                          const SchedulePolicy &policy,
+                          std::vector<size_t> *out_picks, std::string *error)
+{
+    FEATHER_CHECK(eval.layers.size() == graph.layers.size(),
+                  "schedule: evaluation does not match the graph");
+    const size_t n = graph.layers.size();
+    const int aw = resolvedAw(graph);
+    const int ah = resolvedAh(graph);
+    const auto edge = [&](size_t i, size_t p, size_t c) {
+        return eval.edges[i][p][c];
+    };
+
+    std::vector<size_t> &picks = *out_picks;
+    picks.assign(n, 0);
+    if (policy.kind == ScheduleKind::Fixed) {
+        for (size_t i = 0; i < n; ++i) {
+            bool found = false;
+            for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                const auto &kinds = eval.layers[i][c].kinds;
+                for (sim::DataflowKind k : kinds) {
+                    if (k == policy.fixed) {
+                        picks[i] = c;
+                        found = true;
+                        break;
+                    }
+                }
+                if (found) break;
+            }
+            if (!found) {
+                std::string why;
+                (void)cache_.getOrPlan(policy.fixed, graph.layers[i].spec,
+                                       aw, ah, &why);
+                if (error) {
+                    *error = strCat(toString(policy), " cannot schedule ",
+                                    graph.name, ": ", why);
+                }
+                return false;
+            }
+        }
+    } else if (policy.kind == ScheduleKind::Greedy) {
+        for (size_t i = 0; i < n; ++i) {
+            int64_t best = std::numeric_limits<int64_t>::max();
+            for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                int64_t cost = eval.layers[i][c].est_cycles;
+                if (i > 0) cost += edge(i, picks[i - 1], c);
+                if (cost < best) {
+                    best = cost;
+                    picks[i] = c;
+                }
+            }
+        }
+    } else { // PerLayer: DP shortest path over (layer, candidate) states.
+        std::vector<std::vector<int64_t>> dp(n);
+        std::vector<std::vector<size_t>> parent(n);
+        for (size_t c = 0; c < eval.layers[0].size(); ++c) {
+            dp[0].push_back(eval.layers[0][c].est_cycles);
+            parent[0].push_back(0);
+        }
+        for (size_t i = 1; i < n; ++i) {
+            dp[i].assign(eval.layers[i].size(),
+                         std::numeric_limits<int64_t>::max());
+            parent[i].assign(eval.layers[i].size(), 0);
+            for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                for (size_t p = 0; p < eval.layers[i - 1].size(); ++p) {
+                    const int64_t cost = dp[i - 1][p] + edge(i, p, c) +
+                                         eval.layers[i][c].est_cycles;
+                    if (cost < dp[i][c]) {
+                        dp[i][c] = cost;
+                        parent[i][c] = p;
+                    }
+                }
+            }
+        }
+        size_t best = 0;
+        for (size_t c = 1; c < dp[n - 1].size(); ++c) {
+            if (dp[n - 1][c] < dp[n - 1][best]) best = c;
+        }
+        picks[n - 1] = best;
+        for (size_t i = n - 1; i > 0; --i) {
+            picks[i - 1] = parent[i][picks[i]];
+        }
+    }
+    return true;
+}
+
+ScheduleResult
+Scheduler::assemble(const ModelGraph &graph, const Evaluation &eval,
+                    const SchedulePolicy &policy,
+                    const std::vector<size_t> &picks) const
+{
+    ScheduleResult result;
+    result.model = graph.name;
+    result.schedule = toString(policy);
+    result.aw = resolvedAw(graph);
+    result.ah = resolvedAh(graph);
+    result.seed = opts_.seed;
+    for (size_t i = 0; i < graph.layers.size(); ++i) {
+        const Candidate &cand = eval.layers[i][picks[i]];
+        LayerChoice choice;
+        choice.layer = graph.layers[i].spec.name;
+        choice.op = feather::toString(graph.layers[i].spec.type);
+        choice.dataflow = policy.kind == ScheduleKind::Fixed
+                              ? policy.fixed
+                              : cand.kinds.front();
+        choice.plan = cand.plan;
+        choice.est_cycles = cand.est_cycles;
+        choice.reorder_cycles =
+            i > 0 ? eval.edges[i][picks[i - 1]][picks[i]] : 0;
+        result.est_total += choice.est_cycles + choice.reorder_cycles;
+        result.layers.push_back(std::move(choice));
+    }
+    return result;
+}
+
+bool
+Scheduler::measure(const ModelGraph &graph, ScheduleResult *result,
+                   std::string *error)
+{
+    // Step 5: execute the chosen schedule as one chain through the StaB
+    // ping-pong (layer i writes directly in layer i+1's input layout) and
+    // verify the final activations bit-exactly.
+    sim::Scenario scenario;
+    scenario.name = graph.name;
+    scenario.default_aw = result->aw;
+    scenario.default_ah = result->ah;
+    for (size_t i = 0; i < graph.layers.size(); ++i) {
+        scenario.layers.push_back({graph.layers[i].spec,
+                                   result->layers[i].dataflow,
+                                   graph.layers[i].multiplier});
+    }
+    sim::ScenarioOptions sopts;
+    sopts.aw = result->aw;
+    sopts.ah = result->ah;
+    sopts.seed = opts_.seed;
+    const std::optional<sim::ScenarioRun> run =
+        sim::runScenario(scenario, sopts, error, cache_.planFn());
+    if (!run) return false;
+
+    for (size_t i = 0; i < graph.layers.size(); ++i) {
+        const sim::RunResult &r = run->chain.layers[i];
+        result->layers[i].cycles = r.stats.cycles;
+        result->layers[i].macs = r.stats.macs;
+        result->layers[i].read_stalls = r.stats.read_stall_cycles;
+        result->layers[i].write_stalls = r.stats.write_stall_cycles;
+        result->cycles += r.stats.cycles;
+        result->macs += r.stats.macs;
+        result->read_stalls += r.stats.read_stall_cycles;
+        result->write_stalls += r.stats.write_stall_cycles;
+    }
+    result->checked = run->chain.checked;
+    result->mismatches = run->chain.mismatches;
+    return true;
+}
+
+std::optional<ScheduleResult>
+Scheduler::schedule(const ModelGraph &graph, const Evaluation &eval,
+                    const SchedulePolicy &policy, std::string *error)
+{
+    std::vector<size_t> picks;
+    if (!pickCandidates(graph, eval, policy, &picks, error)) {
+        return std::nullopt;
+    }
+    ScheduleResult result = assemble(graph, eval, policy, picks);
+    if (!measure(graph, &result, error)) return std::nullopt;
+    return result;
+}
+
+std::optional<ScheduleComparison>
+Scheduler::compare(const ModelGraph &graph, const SchedulePolicy &primary,
+                   std::string *error)
+{
+    const std::optional<Evaluation> eval = evaluate(graph, error);
+    if (!eval) return std::nullopt;
+
+    std::vector<SchedulePolicy> policies = {primary};
+    const SchedulePolicy per_layer{ScheduleKind::PerLayer,
+                                   sim::DataflowKind::Canonical};
+    const SchedulePolicy greedy{ScheduleKind::Greedy,
+                                sim::DataflowKind::Canonical};
+    for (const SchedulePolicy &p : {per_layer, greedy}) {
+        if (toString(p) != toString(primary)) policies.push_back(p);
+    }
+    for (sim::DataflowKind kind : kFamilies) {
+        const SchedulePolicy p{ScheduleKind::Fixed, kind};
+        if (toString(p) != toString(primary)) policies.push_back(p);
+    }
+
+    // Pick every policy's schedule first (cheap table lookups over the
+    // shared evaluation), remembering which policies landed on identical
+    // candidate picks — same picks means same plans, so one measured
+    // chain run serves them all.
+    struct Slot
+    {
+        bool picked = false;
+        std::string error;
+        std::vector<size_t> picks;
+        ScheduleResult result;
+        size_t measure_as = 0; ///< index of the slot whose chain runs
+    };
+    std::vector<Slot> slots(policies.size());
+    for (size_t i = 0; i < policies.size(); ++i) {
+        Slot &slot = slots[i];
+        slot.picked = pickCandidates(graph, *eval, policies[i],
+                                     &slot.picks, &slot.error);
+        if (!slot.picked) continue;
+        slot.result = assemble(graph, *eval, policies[i], slot.picks);
+        slot.measure_as = i;
+        for (size_t j = 0; j < i; ++j) {
+            if (slots[j].picked && slots[j].picks == slot.picks) {
+                slot.measure_as = j;
+                break;
+            }
+        }
+    }
+
+    // The measured chain runs dominate compare() wall-clock and are
+    // independent — fan the unique ones out on the same pool candidate
+    // evaluation used. Results land in per-policy slots and every plan
+    // lookup hits the cache evaluate() warmed, so the comparison
+    // (including the cache counters) is bit-identical at any thread
+    // count.
+    {
+        serve::ThreadPool pool(opts_.num_threads);
+        for (size_t i = 0; i < policies.size(); ++i) {
+            if (!slots[i].picked || slots[i].measure_as != i) continue;
+            pool.submit([this, &graph, &slots, i] {
+                try {
+                    if (!measure(graph, &slots[i].result,
+                                 &slots[i].error)) {
+                        slots[i].picked = false;
+                    }
+                } catch (const std::exception &e) {
+                    slots[i].error = e.what();
+                    slots[i].picked = false;
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    ScheduleComparison cmp;
+    for (size_t i = 0; i < policies.size(); ++i) {
+        Slot &slot = slots[i];
+        const Slot &measured = slots[slot.measure_as];
+        if (!slot.picked || !measured.picked) {
+            if (policies[i].kind == ScheduleKind::Fixed &&
+                toString(policies[i]) != toString(primary)) {
+                // A baseline family that cannot map every layer is simply
+                // absent from the comparison; the primary must schedule.
+                continue;
+            }
+            if (error) {
+                *error = slot.picked ? measured.error : slot.error;
+            }
+            return std::nullopt;
+        }
+        if (slot.measure_as != i) {
+            // Same picks, same plans: graft the measured stats onto this
+            // policy's skeleton instead of re-simulating the chain.
+            for (size_t l = 0; l < slot.result.layers.size(); ++l) {
+                LayerChoice &dst = slot.result.layers[l];
+                const LayerChoice &src = measured.result.layers[l];
+                dst.cycles = src.cycles;
+                dst.macs = src.macs;
+                dst.read_stalls = src.read_stalls;
+                dst.write_stalls = src.write_stalls;
+            }
+            slot.result.cycles = measured.result.cycles;
+            slot.result.macs = measured.result.macs;
+            slot.result.read_stalls = measured.result.read_stalls;
+            slot.result.write_stalls = measured.result.write_stalls;
+            slot.result.checked = measured.result.checked;
+            slot.result.mismatches = measured.result.mismatches;
+        }
+        // Copy, not move: a later slot may still graft from this one.
+        cmp.schedules.push_back(slot.result);
+    }
+    cmp.cache = cache_.stats();
+    return cmp;
+}
+
+} // namespace model
+} // namespace feather

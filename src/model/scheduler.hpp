@@ -1,0 +1,234 @@
+#pragma once
+
+/**
+ * @file
+ * Per-layer (dataflow, layout) scheduling over a whole ModelGraph.
+ *
+ * The scheduler reproduces the paper's headline end-to-end experiment
+ * (Fig. 12): because BIRRD makes on-chip dataflow switching cheap, the
+ * per-layer *optimal* (dataflow, layout) pair can be chosen for every
+ * layer of a network instead of one fixed dataflow for the whole model.
+ *
+ * Pipeline:
+ *   1. Candidate enumeration — for every layer, every dataflow family is
+ *      planned via sim::planLayer through the shared serve::PlanCache;
+ *      families that induce the same (mapping, layouts) collapse into one
+ *      candidate.
+ *   2. Candidate evaluation — each unique candidate is simulated
+ *      standalone (concordant layouts, bit-exact verification against the
+ *      reference operators) in parallel on a serve::ThreadPool. Results
+ *      land in pre-sized slots with per-candidate derived RNG streams, so
+ *      the outcome is bit-identical at any thread count.
+ *   3. Edge pricing — switching from layer i's candidate a to layer
+ *      i+1's candidate b costs reorderCost(a.out_layout, b.in_layout):
+ *      the BIRRD reorder cycles needed to convert the intermediate tensor
+ *      between the two layouts, zero when they are concordant.
+ *   4. Search — dynamic-programming shortest path over (layer, candidate)
+ *      states (per-layer), a no-lookahead variant (greedy), or a single
+ *      family forced everywhere (fixed:<dataflow>).
+ *   5. Measurement — the chosen schedule is executed as one chain through
+ *      the StaB ping-pong (layer i writes directly in layer i+1's input
+ *      layout) and verified bit-exactly end-to-end; measured cycles are
+ *      the ground truth the report ranks schedules by.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/graph.hpp"
+#include "serve/plan_cache.hpp"
+#include "sim/scenario.hpp"
+
+namespace feather {
+namespace model {
+
+// ---------------------------------------------------------------------------
+// Switching-cost model
+// ---------------------------------------------------------------------------
+
+/**
+ * BIRRD reorder cycles to convert a tensor of @p extents stored under
+ * @p src into @p dst: zero when the layouts are identical (concordant
+ * hand-off), else one read cycle per distinct source line feeding each
+ * destination line (the reorder pass streams every destination line
+ * through BIRRD; writes overlap with reads). An optimistic lower bound —
+ * the measured chain run is the ground truth — but it prices edges
+ * consistently: discordant hand-offs of big tensors cost more than small
+ * ones, and concordant hand-offs are free.
+ */
+int64_t reorderCost(const Layout &src, const Layout &dst,
+                    const Extents &extents);
+
+// ---------------------------------------------------------------------------
+// Schedules
+// ---------------------------------------------------------------------------
+
+/** How to pick each layer's dataflow family. */
+enum class ScheduleKind : uint8_t {
+    PerLayer, ///< DP shortest path over candidates + switching costs
+    Greedy,   ///< pick each layer's best given only the previous choice
+    Fixed,    ///< force one family everywhere (the baseline)
+};
+
+/** A schedule policy: the kind plus the family forced by Fixed. */
+struct SchedulePolicy
+{
+    ScheduleKind kind = ScheduleKind::PerLayer;
+    sim::DataflowKind fixed = sim::DataflowKind::Canonical;
+};
+
+/** Parse "per-layer", "greedy" or "fixed:<dataflow>" (ws|cp|wp or long
+ *  names). */
+std::optional<SchedulePolicy> parseSchedule(const std::string &name,
+                                            std::string *error = nullptr);
+
+std::string toString(const SchedulePolicy &policy);
+
+/** One evaluated candidate of one layer. */
+struct Candidate
+{
+    /** Families that plan to this (mapping, layouts) point; the first is
+     *  the display name. */
+    std::vector<sim::DataflowKind> kinds;
+    sim::LayerPlan plan;
+    int64_t est_cycles = 0; ///< standalone run under concordant layouts
+    int64_t macs = 0;
+    bool bit_exact = false;
+};
+
+/** The evaluated candidate table of one graph (scheduler steps 1-3). */
+struct Evaluation
+{
+    std::vector<std::vector<Candidate>> layers; ///< per layer, ≥1 each
+    /** Pre-priced switching costs: edges[i][p][c] = reorderCost between
+     *  layer i-1's candidate p and layer i's candidate c (edges[0] is
+     *  empty). Computed once per graph so the DP, greedy and every
+     *  compared policy index instead of re-walking the tensor. */
+    std::vector<std::vector<std::vector<int64_t>>> edges;
+};
+
+/** The scheduler's choice for one layer, with measured chain stats. */
+struct LayerChoice
+{
+    std::string layer;
+    std::string op;
+    sim::DataflowKind dataflow = sim::DataflowKind::Canonical;
+    sim::LayerPlan plan;
+    int64_t est_cycles = 0;     ///< candidate's standalone estimate
+    int64_t reorder_cycles = 0; ///< edge price from the previous layer
+    // Measured from the final chain run.
+    int64_t cycles = 0;
+    int64_t macs = 0;
+    int64_t read_stalls = 0;
+    int64_t write_stalls = 0;
+};
+
+/** One scheduled + measured run of a graph. */
+struct ScheduleResult
+{
+    std::string model;
+    std::string schedule; ///< toString(policy)
+    int aw = 0;
+    int ah = 0;
+    uint64_t seed = 0;
+    std::vector<LayerChoice> layers;
+    int64_t est_total = 0; ///< DP objective: sum of est + reorder cycles
+    int64_t cycles = 0;    ///< measured chain total (ground truth)
+    int64_t macs = 0;
+    int64_t read_stalls = 0;
+    int64_t write_stalls = 0;
+    int64_t checked = 0; ///< final-output elements verified
+    int64_t mismatches = 0;
+
+    bool bitExact() const { return checked > 0 && mismatches == 0; }
+    double
+    utilization() const
+    {
+        const double pes = double(aw) * double(ah);
+        return cycles > 0 ? double(macs) / (double(cycles) * pes) : 0.0;
+    }
+};
+
+/** A set of schedules of one graph, ranked against the fixed baselines. */
+struct ScheduleComparison
+{
+    std::vector<ScheduleResult> schedules; ///< primary first
+    serve::PlanCache::Stats cache;
+
+    const ScheduleResult &primary() const { return schedules.front(); }
+
+    /** Index of the cheapest fixed:* schedule (measured cycles); -1 when
+     *  no fixed schedule is present. */
+    int bestFixed() const;
+
+    /** best-fixed cycles / primary cycles (0 when unavailable). */
+    double speedupVsBestFixed() const;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+/** Engine knobs. */
+struct SchedulerOptions
+{
+    int aw = 0; ///< <= 0 picks the graph default
+    int ah = 0;
+    int num_threads = 1;  ///< candidate-evaluation pool size
+    uint64_t seed = 2024; ///< base seed for inputs
+};
+
+/** Per-layer dataflow/layout scheduler over ModelGraphs. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions opts = {});
+
+    /** Steps 1+2: enumerate and evaluate every layer's candidates in
+     *  parallel. nullopt with @p error set when the graph is invalid or a
+     *  layer has no feasible mapping. */
+    std::optional<Evaluation> evaluate(const ModelGraph &graph,
+                                       std::string *error = nullptr);
+
+    /** Steps 3-5: pick the schedule under @p policy and run it as one
+     *  measured, bit-exact chain. */
+    std::optional<ScheduleResult> schedule(const ModelGraph &graph,
+                                           const Evaluation &eval,
+                                           const SchedulePolicy &policy,
+                                           std::string *error = nullptr);
+
+    /** evaluate() once, then schedule @p primary plus the standard
+     *  baselines (greedy and every fixed family, deduplicated). */
+    std::optional<ScheduleComparison>
+    compare(const ModelGraph &graph, const SchedulePolicy &primary,
+            std::string *error = nullptr);
+
+    serve::PlanCache &cache() { return cache_; }
+    const SchedulerOptions &options() const { return opts_; }
+
+  private:
+    int resolvedAw(const ModelGraph &graph) const;
+    int resolvedAh(const ModelGraph &graph) const;
+
+    /** Steps 3+4: one candidate index per layer under @p policy. */
+    bool pickCandidates(const ModelGraph &graph, const Evaluation &eval,
+                        const SchedulePolicy &policy,
+                        std::vector<size_t> *picks, std::string *error);
+
+    /** Result skeleton (choices, estimates, edge prices) for @p picks. */
+    ScheduleResult assemble(const ModelGraph &graph, const Evaluation &eval,
+                            const SchedulePolicy &policy,
+                            const std::vector<size_t> &picks) const;
+
+    /** Step 5: run @p result's schedule as one verified chain and fill
+     *  the measured fields. */
+    bool measure(const ModelGraph &graph, ScheduleResult *result,
+                 std::string *error);
+
+    SchedulerOptions opts_;
+    serve::PlanCache cache_;
+};
+
+} // namespace model
+} // namespace feather

@@ -4,25 +4,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/io.hpp"
 #include "common/parse.hpp"
 #include "serve/engine.hpp"
 #include "sim/cli.hpp"
 
 namespace feather {
 namespace serve {
-
-namespace {
-
-bool
-writeFile(const std::string &path, const std::string &content)
-{
-    std::ofstream out(path, std::ios::binary);
-    if (!out) return false;
-    out << content;
-    return bool(out);
-}
-
-} // namespace
 
 bool
 isBatchInvocation(const std::vector<std::string> &args)

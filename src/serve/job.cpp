@@ -16,7 +16,12 @@ resolveScenario(const JobSpec &spec, std::string *error)
     if (spec.inline_scenario) return &*spec.inline_scenario;
     const sim::Scenario *s = sim::findScenario(spec.scenario);
     if (!s && error) {
-        *error = "unknown scenario '" + spec.scenario + "'";
+        // List the registry so a typo'd sweep/batch line is actionable
+        // instead of a bare "unknown scenario".
+        *error = "unknown scenario '" + spec.scenario + "'; known:";
+        for (const std::string &name : sim::scenarioNames()) {
+            *error += " " + name;
+        }
     }
     return s;
 }

@@ -14,45 +14,7 @@ namespace {
 std::string
 fmtUtil(double v)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.4f", v);
-    return buf;
-}
-
-/** Minimal JSON string escaping (quotes, backslashes, control chars). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (uint8_t(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** CSV cells must stay comma-free for Table::toCsv. */
-std::string
-csvSafe(std::string s)
-{
-    for (char &c : s) {
-        if (c == ',' || c == '\n') c = ';';
-    }
-    return s;
+    return fmtDouble(v, 4);
 }
 
 const std::vector<std::string> &

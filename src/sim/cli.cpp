@@ -46,6 +46,17 @@ usage()
         "  --report-csv F    write the per-job report as CSV to F\n"
         "  --report-json F   write the report as single-line JSON to F\n"
         "\n"
+        "model mode (whole-graph per-layer scheduler; see src/model):\n"
+        "  --model NAME|FILE schedule a built-in model graph or a model\n"
+        "                    file (layer lines: conv/depthwise/pointwise/\n"
+        "                    gemm key=value...)\n"
+        "  --schedule S      per-layer (DP over dataflow candidates and\n"
+        "                    BIRRD reorder costs), greedy, or\n"
+        "                    fixed:<ws|cp|wp> (default: per-layer)\n"
+        "  --list-models     list the built-in model graphs and exit\n"
+        "  --jobs N          candidate-evaluation worker threads\n"
+        "  --report-csv/--report-json also export the schedule report\n"
+        "\n"
         "scenarios:\n";
     for (const Scenario &s : scenarios()) {
         text += "  " + s.name;

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "golden_util.hpp"
 #include "serve/batch_cli.hpp"
 #include "serve/engine.hpp"
 #include "serve/job.hpp"
@@ -447,6 +448,59 @@ TEST(BatchCli, DelegatesNonBatchInvocationsToSim)
                                      "no_such_scenario"};
     EXPECT_EQ(cliMain(int(bad.size()), bad.data()), 2);
 }
+
+TEST(BatchCli, UnknownSweepScenarioListsRegisteredNames)
+{
+    BatchEngine engine;
+    SweepSpec sweep;
+    sweep.scenario = "no_such_scenario";
+    std::string error;
+    EXPECT_FALSE(engine.sweep(sweep, nullptr, &error).has_value());
+    EXPECT_NE(error.find("unknown scenario 'no_such_scenario'"),
+              std::string::npos);
+    for (const std::string &name : sim::scenarioNames()) {
+        EXPECT_NE(error.find(name), std::string::npos) << error;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch report schema (golden lock; see tests/golden/)
+// ---------------------------------------------------------------------------
+
+namespace schema {
+
+using golden::jsonKeys;
+using golden::readGoldenLines;
+
+BatchReport
+sampleReport()
+{
+    JobSpec job;
+    job.scenario = "gemm";
+    BatchEngine engine;
+    return engine.run({job});
+}
+
+TEST(BatchReportSchema, CsvColumnsMatchGolden)
+{
+    const std::vector<std::string> golden =
+        readGoldenLines("batch_report_csv_header.golden");
+    ASSERT_EQ(golden.size(), 1u);
+    EXPECT_EQ(golden::csvHeader(sampleReport().toCsv()), golden[0])
+        << "batch CSV columns are locked; update the golden file "
+           "deliberately when extending the schema";
+}
+
+TEST(BatchReportSchema, JsonKeysMatchGolden)
+{
+    const std::vector<std::string> golden =
+        readGoldenLines("batch_report_json_keys.golden");
+    EXPECT_EQ(jsonKeys(sampleReport().toJson()), golden)
+        << "batch JSON keys are locked; update the golden file "
+           "deliberately when extending the schema";
+}
+
+} // namespace schema
 
 } // namespace
 } // namespace serve
