@@ -17,7 +17,11 @@ the user counters (e.g. the simulator's deterministic `cycles` /
 `est_cycles` counters), which are machine-independent, so a 15% gate is
 stable on shared CI runners. Wall-clock metrics (real_time / cpu_time)
 are noisy across runners and are only reported as warnings unless
---gate-time is passed.
+--gate-time is passed, or the benchmark's name matches
+--gate-time-filter. The filter exists for benchmarks whose wall time IS
+the product property (the analytic engine's sweep throughput): those are
+gated with the separate, more generous --time-threshold so runner noise
+does not flap the build while order-of-magnitude regressions still fail.
 
 A benchmark that *errors out* in the current run (SkipWithError sets
 error_occurred, and the counters vanish) fails the gate, as does a gated
@@ -32,6 +36,7 @@ No third-party dependencies; stdlib json/argparse only.
 
 import argparse
 import json
+import re
 import sys
 
 # Keys of a google-benchmark entry that are not user counters.
@@ -96,11 +101,20 @@ def compare(args):
             failures.append(f"ERRORED   {name}: "
                             f"{cur[name].get('error_message', 'unknown')}")
             continue
+        time_gated = args.gate_time or (
+            args.gate_time_filter
+            and re.search(args.gate_time_filter, name))
         gated = dict(counters(base[name]))
-        if args.gate_time:
+        thresholds = {key: args.threshold for key in gated}
+        if time_gated:
             for key in TIME_KEYS:
                 if key in base[name]:
                     gated[key] = base[name][key]
+                    # --gate-time keeps the counter threshold (historic
+                    # behaviour); the filter uses the wall threshold.
+                    thresholds[key] = (args.time_threshold
+                                       if not args.gate_time
+                                       else args.threshold)
         for key, was in sorted(gated.items()):
             now = cur[name].get(key)
             if now is None:
@@ -117,15 +131,16 @@ def compare(args):
                                     f"{was:g} -> {now:g}")
                 continue
             ratio = now / was
+            threshold = thresholds.get(key, args.threshold)
             line = (f"{name}:{key} {was:g} -> {now:g} "
                     f"({100.0 * (ratio - 1.0):+.1f}%)")
-            if ratio > 1.0 + args.threshold:
+            if ratio > 1.0 + threshold:
                 failures.append("REGRESSED " + line)
-            elif ratio < 1.0 - args.threshold:
+            elif ratio < 1.0 - threshold:
                 warnings.append(f"IMPROVED  {line} "
                                 "(consider refreshing the baseline)")
-        # Wall-clock drift is informational unless --gate-time.
-        if not args.gate_time:
+        # Wall-clock drift is informational unless gated above.
+        if not time_gated:
             for key in TIME_KEYS:
                 was, now = base[name].get(key), cur[name].get(key)
                 if not was or not now or was <= 0:
@@ -165,6 +180,13 @@ def main():
     p_cmp.add_argument("--gate-time", action="store_true",
                        help="also gate real_time/cpu_time (noisy on "
                             "shared runners; off by default)")
+    p_cmp.add_argument("--gate-time-filter", default=None,
+                       help="regex of benchmark names whose wall time is "
+                            "gated at --time-threshold (for benches where "
+                            "wall time is the product property)")
+    p_cmp.add_argument("--time-threshold", type=float, default=0.5,
+                       help="allowed relative wall-time regression for "
+                            "--gate-time-filter matches (default 0.5)")
     p_cmp.set_defaults(func=compare)
 
     args = parser.parse_args()

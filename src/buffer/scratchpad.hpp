@@ -14,6 +14,8 @@
  *   inter-layer pipelining.
  */
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -130,6 +132,33 @@ class BankedScratchpad
     {
         checkAddr(bank, addr);
         return data_[size_t(bank * depth_ + addr)];
+    }
+
+    /**
+     * Write @p n contiguous words into one bank starting at @p addr — the
+     * bulk DMA path for host loads: one bounds check, one memcpy-able copy,
+     * and the same per-word access accounting as n write() calls.
+     */
+    void
+    writeRange(int64_t bank, int64_t addr, const T *src, int64_t n)
+    {
+        if (n <= 0) return;
+        checkAddr(bank, addr);
+        checkAddr(bank, addr + n - 1);
+        stats_.word_writes += n;
+        std::copy(src, src + n, data_.begin() + ptrdiff_t(bank * depth_ + addr));
+    }
+
+    /** Bulk peek of @p n contiguous words of one bank (no access stats,
+     *  matching peek()). */
+    void
+    peekRange(int64_t bank, int64_t addr, T *dst, int64_t n) const
+    {
+        if (n <= 0) return;
+        checkAddr(bank, addr);
+        checkAddr(bank, addr + n - 1);
+        const auto at = data_.begin() + ptrdiff_t(bank * depth_ + addr);
+        std::copy(at, at + ptrdiff_t(n), dst);
     }
 
     /**

@@ -33,7 +33,8 @@ decodeSpatial(const std::vector<ParallelDim> &dims, int64_t flat)
     return idx;
 }
 
-/** Dims reduced by the layer (their outputs accumulate). */
+} // namespace
+
 bool
 isReducedDim(const LayerSpec &layer, Dim d)
 {
@@ -42,8 +43,6 @@ isReducedDim(const LayerSpec &layer, Dim d)
     return d == Dim::C || d == Dim::R || d == Dim::S;
 }
 
-/** Translate an oAct coordinate into next-layer iAct space for layout
- *  addressing: conv (M,P,Q) -> (C,H,W); GEMM (M,N) -> (M,K). */
 Coord
 oactToIactSpace(const LayerSpec &layer, const Coord &o)
 {
@@ -58,8 +57,6 @@ oactToIactSpace(const LayerSpec &layer, const Coord &o)
     }
     return c;
 }
-
-} // namespace
 
 Extents
 oactIactExtents(const LayerSpec &layer)
@@ -122,22 +119,32 @@ FeatherAccelerator::loadIacts(const Int8Tensor &iacts, const Layout &layout)
     const int64_t wpl = ceilDiv(current_layout_.lineSize(), int64_t(cfg_.aw));
     FEATHER_CHECK(current_layout_.numLines() * wpl <= cfg_.stab_depth,
                   "iacts exceed StaB capacity");
+    // A bank's slots within one line (slot = bank + j*AW) land at contiguous
+    // addresses line*wpl + j, so each (line, bank) run becomes one bulk
+    // write — the DMA burst the host interface would issue.
+    std::vector<int8_t> burst(static_cast<size_t>(wpl));
     for (int64_t line = 0; line < current_layout_.numLines(); ++line) {
-        for (int64_t slot = 0; slot < current_layout_.lineSize(); ++slot) {
-            const Coord c = current_layout_.coordAt({line, slot});
-            int8_t v = 0;
-            if (is_gemm) {
-                if (c[Dim::M] < ext[Dim::M] && c[Dim::K] < ext[Dim::K]) {
-                    v = iacts.at2(c[Dim::M], c[Dim::K]);
+        for (int64_t bank = 0;
+             bank < std::min<int64_t>(cfg_.aw, current_layout_.lineSize());
+             ++bank) {
+            int64_t n = 0;
+            for (int64_t slot = bank; slot < current_layout_.lineSize();
+                 slot += cfg_.aw) {
+                const Coord c = current_layout_.coordAt({line, slot});
+                int8_t v = 0;
+                if (is_gemm) {
+                    if (c[Dim::M] < ext[Dim::M] && c[Dim::K] < ext[Dim::K]) {
+                        v = iacts.at2(c[Dim::M], c[Dim::K]);
+                    }
+                } else {
+                    if (c[Dim::C] < ext[Dim::C] && c[Dim::H] < ext[Dim::H] &&
+                        c[Dim::W] < ext[Dim::W]) {
+                        v = iacts.at4(0, c[Dim::C], c[Dim::H], c[Dim::W]);
+                    }
                 }
-            } else {
-                if (c[Dim::C] < ext[Dim::C] && c[Dim::H] < ext[Dim::H] &&
-                    c[Dim::W] < ext[Dim::W]) {
-                    v = iacts.at4(0, c[Dim::C], c[Dim::H], c[Dim::W]);
-                }
+                burst[size_t(n++)] = v;
             }
-            stab_.ping().write(slot % cfg_.aw, line * wpl + slot / cfg_.aw,
-                               v);
+            stab_.ping().writeRange(bank, line * wpl, burst.data(), n);
         }
     }
     iacts_loaded_ = true;
@@ -293,13 +300,35 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
     DimMap prev_weight_step;
     for (int i = 0; i < kNumDims; ++i) prev_weight_step[Dim(i)] = -1;
 
-    // Scratch buffers reused across emissions.
-    std::vector<std::vector<int16_t>> iact_vals(
-        size_t(cfg_.aw), std::vector<int16_t>(size_t(t1), 0));
-    std::vector<bool> col_active(size_t(cfg_.aw), false);
-    std::vector<int64_t> group_line(size_t(num_groups), -1);
-    std::vector<int64_t> group_bank(size_t(num_groups), -1);
-    std::vector<bool> group_live(size_t(num_groups), false);
+    // Per-run scratch carved out of the bump arena: one reset, flat POD
+    // blocks, no allocator traffic inside the step loop. The PortValue
+    // buffers stay as (hoisted) vectors — std::optional is not trivial.
+    arena_.reset();
+    int16_t *iact_vals =
+        arena_.allocArray<int16_t>(size_t(cfg_.aw) * size_t(t1));
+    std::fill_n(iact_vals, size_t(cfg_.aw) * size_t(t1), int16_t(0));
+    uint8_t *col_active = arena_.allocArray<uint8_t>(size_t(cfg_.aw));
+    int64_t *group_line = arena_.allocArray<int64_t>(size_t(num_groups));
+    int64_t *group_bank = arena_.allocArray<int64_t>(size_t(num_groups));
+    uint8_t *group_live = arena_.allocArray<uint8_t>(size_t(num_groups));
+    int64_t *bank_reads = arena_.allocArray<int64_t>(size_t(cfg_.aw));
+    int64_t *seen_key = arena_.allocArray<int64_t>(size_t(cols_used));
+    int16_t *seen_val = arena_.allocArray<int16_t>(size_t(cols_used));
+    int *wave_of_group = arena_.allocArray<int>(size_t(num_groups));
+    // Greedy wave split never opens more waves than live groups, so a
+    // num_groups x AW occupancy table bounds it.
+    uint8_t *wave_bank_used =
+        arena_.allocArray<uint8_t>(size_t(num_groups) * size_t(cfg_.aw));
+    int *dense_id = arena_.allocArray<int>(size_t(num_groups));
+    int *dense_dest = arena_.allocArray<int>(size_t(num_groups));
+
+    // Routing/NoC bookkeeping hoisted out of the inner loop and reused
+    // across waves and steps.
+    RouteRequest req;
+    std::vector<PortValue> emission(size_t(cfg_.aw));
+    std::vector<PortValue> inputs(size_t(cfg_.aw));
+    std::vector<PortValue> outputs;
+    std::vector<PortValue> noc_scratch;
 
     Coord step;
     int64_t step_index = 0;
@@ -373,12 +402,11 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
         int64_t feed_cycles = 0;
         int64_t bus_cycles = 0;
         const int64_t row_variants = rows_affect_iacts ? rows_used : 1;
-        std::vector<int64_t> bank_reads(size_t(cfg_.aw), 0);
 
         for (int64_t r = 0; r < rows_used; ++r) {
             // ---- group destinations and column liveness ----
-            std::fill(col_active.begin(), col_active.end(), false);
-            std::fill(group_live.begin(), group_live.end(), false);
+            std::fill_n(col_active, size_t(cfg_.aw), uint8_t(0));
+            std::fill_n(group_live, size_t(num_groups), uint8_t(0));
             for (int64_t c = 0; c < cols_used; ++c) {
                 const int g = col_assign[size_t(c)].group;
                 auto coord_of = [&](Dim d) {
@@ -424,13 +452,10 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
             // ---- gather iacts for the active columns of this row ----
             // Columns requesting the same word in the same cycle share one
             // bank access (the point-to-point distribution broadcasts it).
-            std::vector<int64_t> seen_key;
-            std::vector<int16_t> seen_val;
             int64_t row_feed = 0;
             for (int64_t l = 0; l < t1; ++l) {
-                std::fill(bank_reads.begin(), bank_reads.end(), 0);
-                seen_key.clear();
-                seen_val.clear();
+                std::fill_n(bank_reads, size_t(cfg_.aw), int64_t(0));
+                int64_t num_seen = 0;
                 for (int64_t c = 0; c < cols_used; ++c) {
                     if (!col_active[size_t(c)]) continue;
                     auto coord_of = [&](Dim d) {
@@ -475,7 +500,7 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
                             a.line * in_wpl + a.slot / cfg_.aw;
                         const int64_t key = bank * cfg_.stab_depth + addr;
                         bool shared = false;
-                        for (size_t s = 0; s < seen_key.size(); ++s) {
+                        for (int64_t s = 0; s < num_seen; ++s) {
                             if (seen_key[s] == key) {
                                 v = seen_val[s];
                                 shared = true;
@@ -486,15 +511,16 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
                             v = int16_t(
                                 int16_t(stab_.ping().read(bank, addr)) -
                                 quant.iact_zp);
-                            seen_key.push_back(key);
-                            seen_val.push_back(v);
+                            seen_key[num_seen] = key;
+                            seen_val[num_seen] = v;
+                            ++num_seen;
                             ++stats.stab_reads;
                             ++bank_reads[size_t(bank)];
                             recordTrace(TraceEvent::Kind::StabRead,
                                         step_index, bank, addr);
                         }
                     }
-                    iact_vals[size_t(c)][size_t(l)] = v;
+                    iact_vals[size_t(c) * size_t(t1) + size_t(l)] = v;
                 }
                 // Feed cycles for this stream slot: dual-port banks.
                 int64_t worst = 1;
@@ -507,64 +533,68 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
             if (r < row_variants) feed_cycles += row_feed;
 
             // ---- NEST emission ----
-            const auto emission =
-                nest_.computeRowEmission(int(r), iact_vals, col_active);
-            stats.macs += t1 * int64_t(std::count(col_active.begin(),
-                                                  col_active.end(), true));
+            nest_.computeRowEmission(int(r), iact_vals, t1, col_active,
+                                     emission.data());
+            int64_t active_cols = 0;
+            for (int64_t c = 0; c < cfg_.aw; ++c) {
+                if (col_active[size_t(c)]) ++active_cols;
+            }
+            stats.macs += t1 * active_cols;
 
             // ---- wave-split groups so each StaB bank is hit once ----
-            std::vector<int> wave_of_group(size_t(num_groups), -1);
+            std::fill_n(wave_of_group, size_t(num_groups), -1);
             int num_waves = 0;
-            {
-                std::vector<std::vector<bool>> bank_used;
-                for (int64_t g = 0; g < num_groups; ++g) {
-                    if (!group_live[size_t(g)]) continue;
-                    int w = 0;
-                    while (w < num_waves &&
-                           bank_used[size_t(w)][size_t(group_bank[size_t(g)])]) {
-                        ++w;
-                    }
-                    if (w == num_waves) {
-                        bank_used.emplace_back(size_t(cfg_.aw), false);
-                        ++num_waves;
-                    }
-                    bank_used[size_t(w)][size_t(group_bank[size_t(g)])] = true;
-                    wave_of_group[size_t(g)] = w;
+            for (int64_t g = 0; g < num_groups; ++g) {
+                if (!group_live[size_t(g)]) continue;
+                int w = 0;
+                while (w < num_waves &&
+                       wave_bank_used[size_t(w) * size_t(cfg_.aw) +
+                                      size_t(group_bank[size_t(g)])]) {
+                    ++w;
                 }
+                if (w == num_waves) {
+                    std::fill_n(wave_bank_used + size_t(w) * size_t(cfg_.aw),
+                                size_t(cfg_.aw), uint8_t(0));
+                    ++num_waves;
+                }
+                wave_bank_used[size_t(w) * size_t(cfg_.aw) +
+                               size_t(group_bank[size_t(g)])] = 1;
+                wave_of_group[size_t(g)] = w;
             }
             bus_cycles += std::max(num_waves, 1);
 
             // ---- BIRRD reduction + reordering per wave ----
             for (int w = 0; w < num_waves; ++w) {
-                RouteRequest req;
                 req.group_of_input.assign(size_t(cfg_.aw), -1);
-                std::vector<int> dense_id(size_t(num_groups), -1);
-                std::vector<int> dense_dest;
+                req.dests_of_group.clear();
+                std::fill_n(dense_id, size_t(num_groups), -1);
+                int num_dense = 0;
                 for (int64_t c = 0; c < cols_used; ++c) {
                     if (!col_active[size_t(c)]) continue;
                     const int g = col_assign[size_t(c)].group;
                     if (wave_of_group[size_t(g)] != w) continue;
                     if (dense_id[size_t(g)] < 0) {
-                        dense_id[size_t(g)] = int(dense_dest.size());
-                        dense_dest.push_back(int(group_bank[size_t(g)]));
+                        dense_id[size_t(g)] = num_dense;
+                        dense_dest[num_dense++] = int(group_bank[size_t(g)]);
                     }
                     req.group_of_input[size_t(c)] = dense_id[size_t(g)];
                 }
-                for (int d : dense_dest) req.dests_of_group.push_back({d});
-                if (dense_dest.empty()) continue;
+                for (int i = 0; i < num_dense; ++i) {
+                    req.dests_of_group.push_back({dense_dest[i]});
+                }
+                if (num_dense == 0) continue;
 
                 const auto cfg_word = router_.route(req);
                 FEATHER_CHECK(cfg_word.has_value(),
                               "BIRRD routing failed for a FEATHER pattern");
-                std::vector<PortValue> inputs(size_t(cfg_.aw));
+                std::fill(inputs.begin(), inputs.end(), std::nullopt);
                 for (int64_t c = 0; c < cols_used; ++c) {
                     if (req.group_of_input[size_t(c)] >= 0) {
                         inputs[size_t(c)] = emission[size_t(c)];
                     }
                 }
-                const auto outputs = birrd_.evaluate(*cfg_word, inputs);
-                stats.birrd_switch_hops +=
-                    birrd_.activeSwitches(*cfg_word, inputs);
+                birrd_.evaluateInto(*cfg_word, inputs, outputs, noc_scratch,
+                                    &stats.birrd_switch_hops);
 
                 // ---- OB accumulation and completion ----
                 for (int64_t g = 0; g < num_groups; ++g) {
@@ -618,6 +648,7 @@ FeatherAccelerator::run(const LayerSpec &layer, const Int8Tensor &weights,
 
     // Pipeline fill: row stagger + BIRRD pipeline + OB/QM stages.
     stats.weight_load_cycles_each = weight_load_cycles;
+    stats.arena_peak_bytes = int64_t(arena_.peakBytes());
     stats.fill_cycles = cfg_.ah + birrd_.latency() + 2;
     stats.cycles = stats.compute_cycles + stats.weight_load_cycles +
                    stats.fill_cycles;
@@ -640,24 +671,34 @@ FeatherAccelerator::readActivations() const
     Int8Tensor out =
         is_gemm ? Int8Tensor({ext[Dim::M], ext[Dim::K]})
                 : Int8Tensor({1, ext[Dim::C], ext[Dim::H], ext[Dim::W]});
+    // Mirror of loadIacts: one bulk peek per (line, bank) run, then scatter
+    // into the tensor.
+    std::vector<int8_t> burst(static_cast<size_t>(wpl));
     for (int64_t line = 0; line < current_layout_.numLines(); ++line) {
-        for (int64_t slot = 0; slot < current_layout_.lineSize(); ++slot) {
-            const Coord c = current_layout_.coordAt({line, slot});
-            const int64_t bank = slot % cfg_.aw;
-            const int64_t addr = line * wpl + slot / cfg_.aw;
-            if (is_gemm) {
-                if (c[Dim::M] >= ext[Dim::M] || c[Dim::K] >= ext[Dim::K]) {
-                    continue;
+        for (int64_t bank = 0;
+             bank < std::min<int64_t>(cfg_.aw, current_layout_.lineSize());
+             ++bank) {
+            const int64_t n =
+                ceilDiv(current_layout_.lineSize() - bank, int64_t(cfg_.aw));
+            stab_.ping().peekRange(bank, line * wpl, burst.data(), n);
+            for (int64_t j = 0; j < n; ++j) {
+                const int64_t slot = bank + j * cfg_.aw;
+                const Coord c = current_layout_.coordAt({line, slot});
+                if (is_gemm) {
+                    if (c[Dim::M] >= ext[Dim::M] ||
+                        c[Dim::K] >= ext[Dim::K]) {
+                        continue;
+                    }
+                    out.at2(c[Dim::M], c[Dim::K]) = burst[size_t(j)];
+                } else {
+                    if (c[Dim::C] >= ext[Dim::C] ||
+                        c[Dim::H] >= ext[Dim::H] ||
+                        c[Dim::W] >= ext[Dim::W]) {
+                        continue;
+                    }
+                    out.at4(0, c[Dim::C], c[Dim::H], c[Dim::W]) =
+                        burst[size_t(j)];
                 }
-                out.at2(c[Dim::M], c[Dim::K]) =
-                    stab_.ping().peek(bank, addr);
-            } else {
-                if (c[Dim::C] >= ext[Dim::C] || c[Dim::H] >= ext[Dim::H] ||
-                    c[Dim::W] >= ext[Dim::W]) {
-                    continue;
-                }
-                out.at4(0, c[Dim::C], c[Dim::H], c[Dim::W]) =
-                    stab_.ping().peek(bank, addr);
             }
         }
     }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "buffer/scratchpad.hpp"
+#include "common/arena.hpp"
 #include "feather/config.hpp"
 #include "layout/layout.hpp"
 #include "nest/nest_array.hpp"
@@ -50,6 +51,15 @@ namespace feather {
  * must use it too.
  */
 Extents oactIactExtents(const LayerSpec &layer);
+
+/** Dims reduced by the layer (their outputs accumulate): GEMM K; conv
+ *  C,R,S; depthwise R,S. Shared by the cycle simulator and the analytic
+ *  model (feather/analytic.hpp). */
+bool isReducedDim(const LayerSpec &layer, Dim d);
+
+/** Translate an oAct coordinate into next-layer iAct space for layout
+ *  addressing: conv (M,P,Q) -> (C,H,W); GEMM (M,N) -> (M,K). */
+Coord oactToIactSpace(const LayerSpec &layer, const Coord &o);
 
 /** One entry of the Fig. 11-style read/write trace. */
 struct TraceEvent
@@ -126,6 +136,7 @@ class FeatherAccelerator
     BirrdRouter router_;
     PingPong<BankedScratchpad<int8_t>> stab_;
     BoundLayout current_layout_;
+    Arena arena_; ///< per-run scratch; reset (blocks reused) each run()
     bool iacts_loaded_ = false;
 
     std::vector<TraceEvent> trace_;

@@ -72,6 +72,19 @@ parseModelCli(const std::vector<std::string> &args)
                 return parse;
             }
             o.jobs = int(n);
+        } else if (arg == "--engine") {
+            std::string text;
+            if (!value(&text)) return parse;
+            const std::optional<sim::EngineMode> mode =
+                sim::parseEngineMode(text);
+            if (!mode) {
+                parse.error = "unknown engine '" + text + "'; known:";
+                for (const std::string &m : sim::engineModeNames()) {
+                    parse.error += " " + m;
+                }
+                return parse;
+            }
+            o.engine = *mode;
         } else if (arg == "--report-csv") {
             if (!value(&o.report_csv)) return parse;
         } else if (arg == "--report-json") {
@@ -84,7 +97,7 @@ parseModelCli(const std::vector<std::string> &args)
             parse.error = "unknown flag '" + arg +
                           "' in model mode (--model runs accept "
                           "--schedule, --aw, --ah, --seed, --jobs, "
-                          "--report-csv, --report-json)";
+                          "--engine, --report-csv, --report-json)";
             return parse;
         }
     }
@@ -142,6 +155,7 @@ cliMain(int argc, const char *const *argv)
     sopts.ah = o.ah;
     sopts.seed = o.seed;
     sopts.num_threads = o.jobs;
+    sopts.engine = o.engine;
     Scheduler scheduler(sopts);
     const std::optional<ScheduleComparison> cmp =
         scheduler.compare(*graph, *policy, &error);

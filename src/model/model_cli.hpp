@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine_mode.hpp"
+
 namespace feather {
 namespace model {
 
@@ -26,6 +28,8 @@ struct ModelCliOptions
     int ah = 0;
     uint64_t seed = 2024;
     int jobs = 1; ///< candidate-evaluation worker threads
+    /** --engine: tier for candidate evaluation (measurement stays cycle). */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
     std::string report_csv;
     std::string report_json;
     bool list_models = false;

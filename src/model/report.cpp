@@ -31,7 +31,8 @@ columns()
         "ah",         "seed",       "layer",          "op",
         "dataflow",   "mapping",    "in_layout",      "out_layout",
         "est_cycles", "reorder_cycles", "cycles",     "macs",
-        "rd_stalls",  "wr_stalls",  "status"};
+        "rd_stalls",  "wr_stalls",  "engine_mode",    "sim_wall_us",
+        "arena_peak_bytes", "status"};
     return cols;
 }
 
@@ -70,7 +71,10 @@ ScheduleReport::toCsv() const
                       std::to_string(l.reorder_cycles),
                       std::to_string(l.cycles), std::to_string(l.macs),
                       std::to_string(l.read_stalls),
-                      std::to_string(l.write_stalls), status(r)});
+                      std::to_string(l.write_stalls),
+                      sim::toString(r.engine),
+                      std::to_string(r.sim_wall_us),
+                      std::to_string(r.arena_peak_bytes), status(r)});
         }
     }
     return t.toCsv();
@@ -110,6 +114,9 @@ ScheduleReport::toJson() const
         ",\"utilization\":", fmtFixed(p.utilization()),
         ",\"rd_stalls\":", p.read_stalls, ",\"wr_stalls\":", p.write_stalls,
         ",\"checked\":", p.checked, ",\"mismatches\":", p.mismatches,
+        ",\"engine_mode\":\"", sim::toString(p.engine),
+        "\",\"sim_wall_us\":", p.sim_wall_us,
+        ",\"arena_peak_bytes\":", p.arena_peak_bytes,
         ",\"status\":\"", status(p), "\",\"best_fixed\":\"",
         jsonEscape(best_name), "\",\"best_fixed_cycles\":", best_cycles,
         ",\"speedup_vs_best_fixed\":",

@@ -1,5 +1,7 @@
 #include "model/scheduler.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <unordered_set>
@@ -182,7 +184,8 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
         std::string plan_error;
         for (sim::DataflowKind kind : kFamilies) {
             const std::optional<sim::LayerPlan> plan =
-                cache_.getOrPlan(kind, ml.spec, aw, ah, &plan_error);
+                cache_.getOrPlan(opts_.engine, kind, ml.spec, aw, ah,
+                                 &plan_error);
             if (!plan) continue;
             bool merged = false;
             for (Candidate &c : candidates) {
@@ -236,6 +239,7 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
                 sim::RunOptions ropts;
                 ropts.aw = resolvedAw(graph);
                 ropts.ah = resolvedAh(graph);
+                ropts.engine = opts_.engine;
                 ropts.seed = slot.seed;
                 ropts.mapping = cand.plan.mapping;
                 ropts.in_layout = cand.plan.in_layout;
@@ -314,8 +318,8 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
             }
             if (!found) {
                 std::string why;
-                (void)cache_.getOrPlan(policy.fixed, graph.layers[i].spec,
-                                       aw, ah, &why);
+                (void)cache_.getOrPlan(opts_.engine, policy.fixed,
+                                       graph.layers[i].spec, aw, ah, &why);
                 if (error) {
                     *error = strCat(toString(policy), " cannot schedule ",
                                     graph.name, ": ", why);
@@ -380,6 +384,7 @@ Scheduler::assemble(const ModelGraph &graph, const Evaluation &eval,
     result.aw = resolvedAw(graph);
     result.ah = resolvedAh(graph);
     result.seed = opts_.seed;
+    result.engine = opts_.engine;
     for (size_t i = 0; i < graph.layers.size(); ++i) {
         const Candidate &cand = eval.layers[i][picks[i]];
         LayerChoice choice;
@@ -418,9 +423,18 @@ Scheduler::measure(const ModelGraph &graph, ScheduleResult *result,
     sopts.aw = result->aw;
     sopts.ah = result->ah;
     sopts.seed = opts_.seed;
+    // Measured cycles are the ground truth the report ranks schedules by:
+    // the chain always replays cycle-accurately, whatever tier evaluated
+    // the candidates.
+    sopts.engine = sim::EngineMode::Cycle;
+    const auto start = std::chrono::steady_clock::now();
     const std::optional<sim::ScenarioRun> run =
         sim::runScenario(scenario, sopts, error, cache_.planFn());
     if (!run) return false;
+    result->sim_wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
 
     for (size_t i = 0; i < graph.layers.size(); ++i) {
         const sim::RunResult &r = run->chain.layers[i];
@@ -432,6 +446,8 @@ Scheduler::measure(const ModelGraph &graph, ScheduleResult *result,
         result->macs += r.stats.macs;
         result->read_stalls += r.stats.read_stall_cycles;
         result->write_stalls += r.stats.write_stall_cycles;
+        result->arena_peak_bytes =
+            std::max(result->arena_peak_bytes, r.stats.arena_peak_bytes);
     }
     result->checked = run->chain.checked;
     result->mismatches = run->chain.mismatches;
@@ -557,6 +573,8 @@ Scheduler::compare(const ModelGraph &graph, const SchedulePolicy &primary,
             slot.result.write_stalls = measured.result.write_stalls;
             slot.result.checked = measured.result.checked;
             slot.result.mismatches = measured.result.mismatches;
+            slot.result.sim_wall_us = measured.result.sim_wall_us;
+            slot.result.arena_peak_bytes = measured.result.arena_peak_bytes;
         }
         // Copy, not move: a later slot may still graft from this one.
         cmp.schedules.push_back(slot.result);

@@ -94,6 +94,8 @@ struct Candidate
     sim::LayerPlan plan;
     int64_t est_cycles = 0; ///< standalone run under concordant layouts
     int64_t macs = 0;
+    /** Verified against the reference operator. Always false under the
+     *  analytic engine, which estimates without producing outputs. */
     bool bit_exact = false;
 };
 
@@ -140,6 +142,14 @@ struct ScheduleResult
     int64_t write_stalls = 0;
     int64_t checked = 0; ///< final-output elements verified
     int64_t mismatches = 0;
+    /** Engine tier candidate evaluation ran under. The measured chain is
+     *  always cycle-accurate, so bitExact() holds either way. */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
+    /** Wall time of the measured chain run in microseconds. The one
+     *  non-deterministic report field; determinism checks zero it. */
+    int64_t sim_wall_us = 0;
+    /** Peak per-layer arena scratch over the measured chain. */
+    int64_t arena_peak_bytes = 0;
 
     bool bitExact() const { return checked > 0 && mismatches == 0; }
     double
@@ -177,6 +187,10 @@ struct SchedulerOptions
     int ah = 0;
     int num_threads = 1;  ///< candidate-evaluation pool size
     uint64_t seed = 2024; ///< base seed for inputs
+    /** Engine tier for candidate enumeration/evaluation (steps 1-2).
+     *  Analytic prunes the candidate table without per-element replay;
+     *  the final measured chain (step 5) always runs cycle-accurate. */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
 };
 
 /** Per-layer dataflow/layout scheduler over ModelGraphs. */

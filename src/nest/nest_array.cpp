@@ -61,4 +61,25 @@ NestArray::computeRowEmission(int row,
     return emission;
 }
 
+void
+NestArray::computeRowEmission(int row, const int16_t *iacts, int64_t t1,
+                              const uint8_t *active, PortValue *emission)
+{
+    FEATHER_CHECK(t1 <= max_local_, "local stream exceeds register file");
+    for (int col = 0; col < aw_; ++col) {
+        if (!active[col]) {
+            emission[col] = std::nullopt;
+            continue;
+        }
+        const int16_t *stream = iacts + int64_t(col) * t1;
+        const int16_t *w = &regs_[regIndex(active_bank_, row, col, 0)];
+        int64_t acc = 0;
+        for (int64_t l = 0; l < t1; ++l) {
+            acc += int64_t(stream[l]) * int64_t(w[l]);
+        }
+        macs_ += t1;
+        emission[col] = acc;
+    }
+}
+
 } // namespace feather

@@ -66,6 +66,16 @@ class NestArray
     computeRowEmission(int row, const std::vector<std::vector<int16_t>> &iacts,
                        const std::vector<bool> &active);
 
+    /**
+     * Flat-buffer emission for the controller's hot loop: @p iacts is an
+     * AW x @p t1 row-major block (column c's stream at iacts[c * t1]),
+     * @p active is AW bytes, and the AW partial sums are written into
+     * @p emission (inactive columns get std::nullopt). Identical
+     * arithmetic and MAC accounting to the vector overload.
+     */
+    void computeRowEmission(int row, const int16_t *iacts, int64_t t1,
+                            const uint8_t *active, PortValue *emission);
+
     /** Cycles to preload a full array of weights (paper: AH^2). */
     int64_t weightLoadCycles() const { return int64_t(ah_) * ah_; }
 

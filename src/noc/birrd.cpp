@@ -47,55 +47,52 @@ passThroughConfig(const BirrdTopology &topo)
                                EggConfig::Pass));
 }
 
-std::vector<PortValue>
-BirrdNetwork::evaluate(const BirrdConfigWord &config,
-                       const std::vector<PortValue> &inputs) const
+void
+BirrdNetwork::evaluateInto(const BirrdConfigWord &config,
+                           const std::vector<PortValue> &inputs,
+                           std::vector<PortValue> &outputs,
+                           std::vector<PortValue> &scratch,
+                           int64_t *active_switches) const
 {
     const int n = topo_.numInputs();
     FEATHER_CHECK(int(inputs.size()) == n, "input arity mismatch");
     FEATHER_CHECK(int(config.size()) == topo_.numStages(),
                   "config stage count mismatch");
 
-    std::vector<PortValue> ports = inputs;
-    std::vector<PortValue> next(static_cast<size_t>(n));
+    outputs.assign(inputs.begin(), inputs.end());
+    scratch.assign(static_cast<size_t>(n), std::nullopt);
     for (int s = 0; s < topo_.numStages(); ++s) {
         FEATHER_CHECK(int(config[s].size()) == topo_.switchesPerStage(),
                       "config switch count mismatch at stage ", s);
-        std::fill(next.begin(), next.end(), std::nullopt);
+        std::fill(scratch.begin(), scratch.end(), std::nullopt);
         for (int sw = 0; sw < topo_.switchesPerStage(); ++sw) {
-            const auto [lo, ro] =
-                evalEgg(config[s][sw], ports[size_t(2 * sw)],
-                        ports[size_t(2 * sw + 1)]);
-            next[size_t(topo_.wire(s, 2 * sw))] = lo;
-            next[size_t(topo_.wire(s, 2 * sw + 1))] = ro;
+            const PortValue l = outputs[size_t(2 * sw)];
+            const PortValue r = outputs[size_t(2 * sw + 1)];
+            if (active_switches && (l || r)) ++*active_switches;
+            const auto [lo, ro] = evalEgg(config[s][sw], l, r);
+            scratch[size_t(topo_.wire(s, 2 * sw))] = lo;
+            scratch[size_t(topo_.wire(s, 2 * sw + 1))] = ro;
         }
-        ports = next;
+        outputs.swap(scratch);
     }
-    return ports;
+}
+
+std::vector<PortValue>
+BirrdNetwork::evaluate(const BirrdConfigWord &config,
+                       const std::vector<PortValue> &inputs) const
+{
+    std::vector<PortValue> outputs, scratch;
+    evaluateInto(config, inputs, outputs, scratch, nullptr);
+    return outputs;
 }
 
 int64_t
 BirrdNetwork::activeSwitches(const BirrdConfigWord &config,
                              const std::vector<PortValue> &inputs) const
 {
-    const int n = topo_.numInputs();
-    FEATHER_CHECK(int(inputs.size()) == n, "input arity mismatch");
-
     int64_t active = 0;
-    std::vector<PortValue> ports = inputs;
-    std::vector<PortValue> next(static_cast<size_t>(n));
-    for (int s = 0; s < topo_.numStages(); ++s) {
-        std::fill(next.begin(), next.end(), std::nullopt);
-        for (int sw = 0; sw < topo_.switchesPerStage(); ++sw) {
-            const PortValue l = ports[size_t(2 * sw)];
-            const PortValue r = ports[size_t(2 * sw + 1)];
-            if (l || r) ++active;
-            const auto [lo, ro] = evalEgg(config[s][sw], l, r);
-            next[size_t(topo_.wire(s, 2 * sw))] = lo;
-            next[size_t(topo_.wire(s, 2 * sw + 1))] = ro;
-        }
-        ports = next;
-    }
+    std::vector<PortValue> outputs, scratch;
+    evaluateInto(config, inputs, outputs, scratch, &active);
     return active;
 }
 

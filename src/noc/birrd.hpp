@@ -82,6 +82,22 @@ class BirrdNetwork
     int64_t activeSwitches(const BirrdConfigWord &config,
                            const std::vector<PortValue> &inputs) const;
 
+    /**
+     * Fused evaluate + activeSwitches in one propagation pass, writing the
+     * output ports into @p outputs (resized to numInputs()) and reusing
+     * @p scratch as the inter-stage buffer — the hot-loop variant the
+     * FEATHER controller calls once per wave instead of propagating the
+     * same vector twice and reallocating port buffers each time.
+     *
+     * @param active_switches if non-null, incremented by the number of
+     *        switches that saw live data (same count as activeSwitches()).
+     */
+    void evaluateInto(const BirrdConfigWord &config,
+                      const std::vector<PortValue> &inputs,
+                      std::vector<PortValue> &outputs,
+                      std::vector<PortValue> &scratch,
+                      int64_t *active_switches) const;
+
   private:
     BirrdTopology topo_;
 };

@@ -65,6 +65,19 @@ parseBatchCli(const std::vector<std::string> &args)
             o.jobs = int(n);
         } else if (arg == "--seed") {
             if (!uintValue(&o.seed)) return parse;
+        } else if (arg == "--engine") {
+            std::string text;
+            if (!value(&text)) return parse;
+            const std::optional<sim::EngineMode> mode =
+                sim::parseEngineMode(text);
+            if (!mode) {
+                parse.error = "unknown engine '" + text + "'; known:";
+                for (const std::string &m : sim::engineModeNames()) {
+                    parse.error += " " + m;
+                }
+                return parse;
+            }
+            o.engine = *mode;
         } else if (arg == "--report-csv") {
             if (!value(&o.report_csv)) return parse;
         } else if (arg == "--report-json") {
@@ -74,7 +87,8 @@ parseBatchCli(const std::vector<std::string> &args)
         } else {
             parse.error = "unknown flag '" + arg +
                           "' in batch mode (--batch/--sweep runs accept "
-                          "--jobs, --seed, --report-csv, --report-json)";
+                          "--jobs, --seed, --engine, --report-csv, "
+                          "--report-json)";
             return parse;
         }
     }
@@ -100,6 +114,7 @@ batchMain(const BatchCliOptions &opts)
     BatchOptions engine_opts;
     engine_opts.num_threads = opts.jobs;
     engine_opts.base_seed = opts.seed;
+    engine_opts.engine = opts.engine;
     BatchEngine engine(engine_opts);
 
     BatchReport report;

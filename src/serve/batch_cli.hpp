@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine_mode.hpp"
+
 namespace feather {
 namespace serve {
 
@@ -26,6 +28,8 @@ struct BatchCliOptions
     std::string sweep;       ///< --sweep SCENARIO (grid sweep)
     int jobs = 1;            ///< --jobs N (worker threads)
     uint64_t seed = 2024;    ///< --seed N (base seed for job streams)
+    /** --engine cycle|analytic: default tier for jobs that do not pin one. */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
     std::string report_csv;  ///< --report-csv PATH
     std::string report_json; ///< --report-json PATH
     bool help = false;

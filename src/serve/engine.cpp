@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "common/rng.hpp"
@@ -38,17 +40,23 @@ BatchEngine::runOne(const JobSpec &spec, size_t index)
     opts.seed = spec.explicit_seed
                     ? *spec.explicit_seed
                     : Rng::deriveStream(opts_.base_seed, index);
+    opts.engine = spec.engine ? *spec.engine : opts_.engine;
     result.seed = opts.seed;
+    result.engine = opts.engine;
     result.aw = opts.aw > 0 ? opts.aw : scenario->default_aw;
     result.ah = opts.ah > 0 ? opts.ah : scenario->default_ah;
 
     std::optional<sim::ScenarioRun> run;
+    const auto start = std::chrono::steady_clock::now();
     try {
         run = sim::runScenario(*scenario, opts, &error, cache_.planFn());
     } catch (const std::exception &e) {
         result.error = e.what();
         return result;
     }
+    result.sim_wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
     if (!run) {
         result.error = error;
         return result;
@@ -63,6 +71,8 @@ BatchEngine::runOne(const JobSpec &spec, size_t index)
         result.macs += r.stats.macs;
         result.read_stalls += r.stats.read_stall_cycles;
         result.write_stalls += r.stats.write_stall_cycles;
+        result.arena_peak_bytes =
+            std::max(result.arena_peak_bytes, r.stats.arena_peak_bytes);
     }
     result.checked = run->chain.checked;
     result.mismatches = run->chain.mismatches;
@@ -97,8 +107,12 @@ std::optional<BatchReport>
 BatchEngine::sweep(const SweepSpec &sweep, std::vector<std::string> *skipped,
                    std::string *error)
 {
+    // Pre-plan under the engine's own tier so cache warming hits the same
+    // keys the run will look up (the sweep's jobs inherit opts_.engine).
+    SweepSpec spec = sweep;
+    spec.engine = opts_.engine;
     const std::optional<std::vector<JobSpec>> jobs =
-        expandSweep(sweep, cache_, skipped, error);
+        expandSweep(spec, cache_, skipped, error);
     if (!jobs) return std::nullopt;
     return run(*jobs);
 }

@@ -37,6 +37,8 @@ struct BatchOptions
 {
     int num_threads = 1;       ///< worker pool size (`--jobs N`)
     uint64_t base_seed = 2024; ///< stream base for per-job input seeds
+    /** Default engine tier for jobs that do not pin one (`--engine`). */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
 };
 
 /** Multi-threaded batch runner with a shared plan cache. */

@@ -125,8 +125,8 @@ expandSweep(const SweepSpec &sweep, PlanCache &cache,
             for (const sim::ScenarioLayer &sl : scenario->layers) {
                 const sim::DataflowKind kind =
                     overrides[d] ? *overrides[d] : sl.dataflow;
-                if (!cache.getOrPlan(kind, sl.layer, array.first,
-                                     array.second, &why)) {
+                if (!cache.getOrPlan(sweep.engine, kind, sl.layer,
+                                     array.first, array.second, &why)) {
                     fits = false;
                     break;
                 }
@@ -206,6 +206,18 @@ parseBatchFile(const std::string &text, std::vector<JobSpec> *jobs,
                     return fail("seed needs a non-negative integer");
                 }
                 job.explicit_seed = n;
+            } else if (key == "engine") {
+                const std::optional<sim::EngineMode> mode =
+                    sim::parseEngineMode(value);
+                if (!mode) {
+                    std::string valid;
+                    for (const std::string &m : sim::engineModeNames()) {
+                        valid += " " + m;
+                    }
+                    return fail("unknown engine '" + value + "'; known:" +
+                                valid);
+                }
+                job.engine = *mode;
             } else {
                 return fail("unknown key '" + key + "'");
             }

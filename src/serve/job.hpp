@@ -9,7 +9,7 @@
  * three sources:
  *   - a batch file (`feather_cli --batch jobs.txt`), one job per line:
  *       <scenario> [dataflow=ws|cp|wp] [layout=L] [out_layout=L]
- *                  [aw=N] [ah=N] [seed=N] [name=STR]
+ *                  [aw=N] [ah=N] [seed=N] [engine=cycle|analytic] [name=STR]
  *     ('#' starts a comment, blank lines are skipped);
  *   - a programmatic sweep (`--sweep <scenario>`): the (dataflow x layout x
  *     array-size) grid of SweepSpec, pre-filtered so only grid points whose
@@ -42,6 +42,8 @@ struct JobSpec
     sim::ScenarioOptions opts;
     /** Pin the input seed; unset derives Rng::deriveStream(base, index). */
     std::optional<uint64_t> explicit_seed;
+    /** Pin the engine tier; unset inherits BatchOptions::engine. */
+    std::optional<sim::EngineMode> engine;
 };
 
 /** Scenario a job refers to; nullptr with @p error set when unknown. */
@@ -62,6 +64,9 @@ struct SweepSpec
     std::vector<std::pair<int, int>> arrays;
     /** First-layer iAct layouts; empty = {"concordant"}. */
     std::vector<std::string> layouts;
+    /** Engine tier the sweep's jobs will run under (pre-planning warms the
+     *  cache for this tier's keys). */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
 };
 
 /**

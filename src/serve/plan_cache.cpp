@@ -6,31 +6,36 @@ namespace feather {
 namespace serve {
 
 std::string
-PlanCache::key(sim::DataflowKind kind, const LayerSpec &layer, int aw, int ah)
+PlanCache::key(sim::EngineMode mode, sim::DataflowKind kind,
+               const LayerSpec &layer, int aw, int ah)
 {
     // Shape-only key: two layers with equal shapes plan identically, their
-    // names notwithstanding.
+    // names notwithstanding. The engine mode is part of the key so the two
+    // tiers never share entries.
     if (layer.type == OpType::Gemm) {
         return strCat("gemm|", layer.gemm.m, "x", layer.gemm.n, "x",
-                      layer.gemm.k, "|", toString(kind), "|", aw, "x", ah);
+                      layer.gemm.k, "|", toString(kind), "|", aw, "x", ah,
+                      "|", toString(mode));
     }
     const ConvShape &c = layer.conv;
     return strCat(toString(layer.type), "|", c.n, ",", c.c, ",", c.h, ",",
                   c.w, ",", c.m, ",", c.r, ",", c.s, ",s", c.stride, ",p",
-                  c.pad, "|", toString(kind), "|", aw, "x", ah);
+                  c.pad, "|", toString(kind), "|", aw, "x", ah, "|",
+                  toString(mode));
 }
 
 std::optional<sim::LayerPlan>
-PlanCache::getOrPlan(sim::DataflowKind kind, const LayerSpec &layer, int aw,
-                     int ah, std::string *error)
+PlanCache::getOrPlan(sim::EngineMode mode, sim::DataflowKind kind,
+                     const LayerSpec &layer, int aw, int ah,
+                     std::string *error)
 {
-    const std::string k = key(kind, layer, aw, ah);
+    const std::string k = key(mode, kind, layer, aw, ah);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(k);
     if (it == map_.end()) {
         ++misses_;
         Entry entry;
-        entry.plan = sim::planLayer(kind, layer, aw, ah, &entry.error);
+        entry.plan = sim::planLayer(kind, layer, aw, ah, &entry.error, mode);
         it = map_.emplace(k, std::move(entry)).first;
     } else {
         ++hits_;
@@ -42,9 +47,10 @@ PlanCache::getOrPlan(sim::DataflowKind kind, const LayerSpec &layer, int aw,
 sim::PlanFn
 PlanCache::planFn()
 {
-    return [this](sim::DataflowKind kind, const LayerSpec &layer, int aw,
-                  int ah, std::string *error) {
-        return getOrPlan(kind, layer, aw, ah, error);
+    return [this](sim::EngineMode mode, sim::DataflowKind kind,
+                  const LayerSpec &layer, int aw, int ah,
+                  std::string *error) {
+        return getOrPlan(mode, kind, layer, aw, ah, error);
     };
 }
 

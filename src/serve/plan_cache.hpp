@@ -46,8 +46,13 @@ class PlanCache
      * makes the hit/miss counters deterministic (one miss per unique key,
      * regardless of how many worker threads race on it) — which keeps the
      * exported BatchReport bit-identical across --jobs settings.
+     *
+     * @p mode is part of the key: a plan cached by an analytic enumeration
+     * pass is never served to a cycle-mode job (and vice versa), so each
+     * tier's plans carry the right LayerPlan::engine tag.
      */
-    std::optional<sim::LayerPlan> getOrPlan(sim::DataflowKind kind,
+    std::optional<sim::LayerPlan> getOrPlan(sim::EngineMode mode,
+                                            sim::DataflowKind kind,
                                             const LayerSpec &layer, int aw,
                                             int ah,
                                             std::string *error = nullptr);
@@ -60,8 +65,8 @@ class PlanCache
     void clear();
 
     /** Cache key of one planning point (layer shape, not name). */
-    static std::string key(sim::DataflowKind kind, const LayerSpec &layer,
-                           int aw, int ah);
+    static std::string key(sim::EngineMode mode, sim::DataflowKind kind,
+                           const LayerSpec &layer, int aw, int ah);
 
   private:
     struct Entry

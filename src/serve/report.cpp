@@ -25,6 +25,7 @@ columns()
         "aw",         "ah",       "seed",        "status",
         "layers",     "cycles",   "macs",        "utilization",
         "rd_stalls",  "wr_stalls", "checked",    "mismatches",
+        "engine_mode", "sim_wall_us", "arena_peak_bytes",
         "error"};
     return cols;
 }
@@ -48,6 +49,9 @@ row(const JobResult &r)
             std::to_string(r.write_stalls),
             std::to_string(r.checked),
             std::to_string(r.mismatches),
+            sim::toString(r.engine),
+            std::to_string(r.sim_wall_us),
+            std::to_string(r.arena_peak_bytes),
             csvSafe(r.error)};
 }
 
@@ -57,6 +61,7 @@ std::string
 JobResult::status() const
 {
     if (!ok) return "ERROR";
+    if (engine == sim::EngineMode::Analytic) return "est";
     return bitExact() ? "ok" : "MISMATCH";
 }
 
@@ -65,6 +70,9 @@ BatchReport::failures() const
 {
     size_t n = 0;
     for (const JobResult &r : jobs) {
+        // Analytic jobs carry estimates, not verified outputs: only an
+        // ERROR counts against them.
+        if (r.ok && r.engine == sim::EngineMode::Analytic) continue;
         if (!r.bitExact()) ++n;
     }
     return n;
@@ -111,7 +119,9 @@ BatchReport::toJson() const
             ",\"utilization\":", fmtUtil(r.utilization),
             ",\"rd_stalls\":", r.read_stalls,
             ",\"wr_stalls\":", r.write_stalls, ",\"checked\":", r.checked,
-            ",\"mismatches\":", r.mismatches, ",\"error\":\"",
+            ",\"mismatches\":", r.mismatches, ",\"engine_mode\":\"",
+            toString(r.engine), "\",\"sim_wall_us\":", r.sim_wall_us,
+            ",\"arena_peak_bytes\":", r.arena_peak_bytes, ",\"error\":\"",
             jsonEscape(r.error), "\"}");
     }
     out += strCat(

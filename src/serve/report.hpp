@@ -32,6 +32,8 @@ struct JobResult
     int aw = 0;
     int ah = 0;
     uint64_t seed = 0; ///< the seed the job actually ran with
+    /** Engine tier the job ran under (JobSpec pin or BatchOptions). */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
     bool ok = false;   ///< the run completed (regardless of verification)
     std::string error; ///< why the run failed (when !ok)
 
@@ -44,10 +46,16 @@ struct JobResult
     int64_t checked = 0;
     int64_t mismatches = 0;
     double utilization = 0.0; ///< macs / (cycles * AW * AH)
+    /** Wall time of the scenario run in microseconds. The one
+     *  non-deterministic report field; determinism checks zero it. */
+    int64_t sim_wall_us = 0;
+    /** Peak arena scratch over the job's layers (0 in analytic mode). */
+    int64_t arena_peak_bytes = 0;
 
     bool bitExact() const { return ok && checked > 0 && mismatches == 0; }
 
-    /** "ok" (verified), "MISMATCH" (ran, diffs) or "ERROR" (did not run). */
+    /** "ok" (verified), "est" (analytic estimate, nothing to verify),
+     *  "MISMATCH" (ran, diffs) or "ERROR" (did not run). */
     std::string status() const;
 };
 
@@ -58,10 +66,11 @@ struct BatchReport
     PlanCache::Stats cache;
     uint64_t base_seed = 0;
 
-    /** Jobs that errored or failed verification. */
+    /** Jobs that errored or failed verification. Analytic jobs have
+     *  nothing to verify: they fail only by erroring. */
     size_t failures() const;
 
-    /** True when every job ran and verified bit-exactly. */
+    /** True when every job ran and (cycle jobs) verified bit-exactly. */
     bool allOk() const { return failures() == 0 && !jobs.empty(); }
 
     int64_t totalCycles() const;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine_mode.hpp"
+
 namespace feather {
 namespace sim {
 
@@ -26,6 +28,8 @@ struct CliOptions
     int aw = 0;                        ///< 0 = scenario default
     int ah = 0;
     uint64_t seed = 2024;
+    /** --engine: cycle (bit-exact replay) or analytic (closed-form). */
+    EngineMode engine = EngineMode::Cycle;
     size_t trace = 0; ///< print the first N StaB trace events
     bool list = false;
     bool help = false;
@@ -51,8 +55,9 @@ std::string usage();
 
 /**
  * Full CLI entry point: parse, run the scenario, print per-layer stats and
- * the bit-exactness verdict. Returns 0 on a verified run, 1 on a numeric
- * mismatch, 2 on a usage error.
+ * the bit-exactness verdict. Returns 0 on a verified run (or an analytic
+ * estimate, which has nothing to verify), 1 on a numeric mismatch, 2 on a
+ * usage error.
  */
 int cliMain(int argc, const char *const *argv);
 

@@ -4,6 +4,8 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "feather/analytic.hpp"
+#include "sim/engine.hpp"
 #include "tensor/reference_ops.hpp"
 
 namespace feather {
@@ -282,7 +284,7 @@ concordantOutputLayout(const LayerSpec &layer, const NestMapping &mapping,
 
 std::optional<LayerPlan>
 planLayer(DataflowKind kind, const LayerSpec &layer, int aw, int ah,
-          std::string *error)
+          std::string *error, EngineMode mode)
 {
     const std::optional<NestMapping> mapping =
         buildMapping(kind, layer, aw, ah, error);
@@ -291,6 +293,7 @@ planLayer(DataflowKind kind, const LayerSpec &layer, int aw, int ah,
     plan.mapping = *mapping;
     plan.in_layout = concordantInputLayout(layer, *mapping, aw);
     plan.out_layout = concordantOutputLayout(layer, *mapping, aw);
+    plan.engine = mode;
     return plan;
 }
 
@@ -314,6 +317,20 @@ makeConfig(const RunOptions &opts)
 
 RunResult
 runLayer(const LayerSpec &layer, const RunOptions &opts)
+{
+    return engineFor(opts.engine).runLayer(layer, opts);
+}
+
+ChainResult
+runChain(const std::vector<ChainStep> &steps, const RunOptions &opts)
+{
+    return engineFor(opts.engine).runChain(steps, opts);
+}
+
+namespace detail {
+
+RunResult
+runLayerCycle(const LayerSpec &layer, const RunOptions &opts)
 {
     RunResult res;
     res.mapping = opts.mapping
@@ -347,24 +364,8 @@ runLayer(const LayerSpec &layer, const RunOptions &opts)
     return res;
 }
 
-int64_t
-ChainResult::totalCycles() const
-{
-    int64_t total = 0;
-    for (const RunResult &r : layers) total += r.stats.cycles;
-    return total;
-}
-
-int64_t
-ChainResult::totalReadStalls() const
-{
-    int64_t total = 0;
-    for (const RunResult &r : layers) total += r.stats.read_stall_cycles;
-    return total;
-}
-
 ChainResult
-runChain(const std::vector<ChainStep> &steps, const RunOptions &opts)
+runChainCycle(const std::vector<ChainStep> &steps, const RunOptions &opts)
 {
     FEATHER_CHECK(!steps.empty(), "runChain: no steps");
     ChainResult res;
@@ -423,6 +424,83 @@ runChain(const std::vector<ChainStep> &steps, const RunOptions &opts)
         res.mismatches = countMismatches(res.layers.back().output, ref);
     }
     return res;
+}
+
+RunResult
+runLayerAnalytic(const LayerSpec &layer, const RunOptions &opts)
+{
+    // Resolve the exact same mapping/layout defaults as the cycle tier so
+    // both engines evaluate the same plan; then fill the stats from the
+    // closed-form model. No data, no verification (checked stays 0).
+    RunResult res;
+    res.mapping = opts.mapping
+                      ? *opts.mapping
+                      : NestMapping::canonical(layer, opts.aw, opts.ah);
+    res.in_layout = opts.in_layout
+                        ? *opts.in_layout
+                        : concordantInputLayout(layer, res.mapping, opts.aw);
+    res.out_layout = opts.out_layout
+                         ? *opts.out_layout
+                         : concordantOutputLayout(layer, res.mapping, opts.aw);
+    res.stats = analyticLayerStats(layer, res.mapping, res.in_layout,
+                                   res.out_layout, makeConfig(opts));
+    return res;
+}
+
+ChainResult
+runChainAnalytic(const std::vector<ChainStep> &steps, const RunOptions &opts)
+{
+    FEATHER_CHECK(!steps.empty(), "runChain: no steps");
+    ChainResult res;
+
+    std::vector<NestMapping> mappings;
+    for (const ChainStep &s : steps) {
+        mappings.push_back(s.mapping ? *s.mapping
+                                     : NestMapping::canonical(s.layer, opts.aw,
+                                                              opts.ah));
+    }
+    const Layout first_in =
+        opts.in_layout
+            ? *opts.in_layout
+            : concordantInputLayout(steps.front().layer, mappings.front(),
+                                    opts.aw);
+    const FeatherConfig cfg = makeConfig(opts);
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const ChainStep &s = steps[i];
+        RunResult r;
+        r.mapping = mappings[i];
+        r.in_layout = i == 0 ? first_in : res.layers[i - 1].out_layout;
+        if (s.out_layout) {
+            r.out_layout = *s.out_layout;
+        } else if (i + 1 < steps.size()) {
+            r.out_layout = concordantInputLayout(steps[i + 1].layer,
+                                                 mappings[i + 1], opts.aw);
+        } else {
+            r.out_layout = concordantOutputLayout(s.layer, r.mapping, opts.aw);
+        }
+        r.stats = analyticLayerStats(s.layer, r.mapping, r.in_layout,
+                                     r.out_layout, cfg);
+        res.layers.push_back(std::move(r));
+    }
+    return res;
+}
+
+} // namespace detail
+
+int64_t
+ChainResult::totalCycles() const
+{
+    int64_t total = 0;
+    for (const RunResult &r : layers) total += r.stats.cycles;
+    return total;
+}
+
+int64_t
+ChainResult::totalReadStalls() const
+{
+    int64_t total = 0;
+    for (const RunResult &r : layers) total += r.stats.read_stall_cycles;
+    return total;
 }
 
 } // namespace sim

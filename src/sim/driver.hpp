@@ -20,6 +20,7 @@
 
 #include "feather/accelerator.hpp"
 #include "nest/nest_mapping.hpp"
+#include "sim/engine_mode.hpp"
 #include "tensor/tensor.hpp"
 #include "workload/shapes.hpp"
 
@@ -135,15 +136,19 @@ struct LayerPlan
     NestMapping mapping;
     Layout in_layout;
     Layout out_layout;
+    /** Engine tier the plan was made for (and is cached under). */
+    EngineMode engine = EngineMode::Cycle;
 };
 
 /**
  * buildMapping + both concordant layouts in one call; nullopt (with
  * @p error set) when the mapping does not fit or fails validation.
+ * @p mode tags the plan with the engine tier requesting it (the plan
+ * artifacts themselves are mode-independent, but caches key on it).
  */
 std::optional<LayerPlan> planLayer(DataflowKind kind, const LayerSpec &layer,
-                                   int aw, int ah,
-                                   std::string *error = nullptr);
+                                   int aw, int ah, std::string *error = nullptr,
+                                   EngineMode mode = EngineMode::Cycle);
 
 // ---------------------------------------------------------------------------
 // Single-layer runs
@@ -154,6 +159,8 @@ struct RunOptions
 {
     int aw = 8;
     int ah = 8;
+    /** Execution tier (sim/engine.hpp); analytic skips data + verify. */
+    EngineMode engine = EngineMode::Cycle;
     uint64_t seed = 2024;
     int64_t stab_depth = 0; ///< 0 = FeatherConfig default
     /** Unset fields derive from the mapping (concordant layouts) or the
@@ -194,8 +201,11 @@ struct RunResult
 };
 
 /**
- * Run @p layer on a fresh FEATHER instance with seeded random inputs and
- * (by default) verify the read-back bit-exactly against the reference ops.
+ * Run @p layer through the engine tier selected by opts.engine: cycle mode
+ * builds a fresh FEATHER instance with seeded random inputs and (by
+ * default) verifies the read-back bit-exactly against the reference ops;
+ * analytic mode resolves the same mapping/layouts and fills stats from the
+ * closed-form model (checked == 0, empty output).
  */
 RunResult runLayer(const LayerSpec &layer, const RunOptions &opts = {});
 
@@ -231,6 +241,20 @@ struct ChainResult
  */
 ChainResult runChain(const std::vector<ChainStep> &steps,
                      const RunOptions &opts = {});
+
+namespace detail {
+
+// Per-tier implementations behind sim::Engine (sim/engine.hpp). The public
+// runLayer/runChain dispatch on RunOptions::engine; call these only through
+// the engine singletons.
+RunResult runLayerCycle(const LayerSpec &layer, const RunOptions &opts);
+ChainResult runChainCycle(const std::vector<ChainStep> &steps,
+                          const RunOptions &opts);
+RunResult runLayerAnalytic(const LayerSpec &layer, const RunOptions &opts);
+ChainResult runChainAnalytic(const std::vector<ChainStep> &steps,
+                             const RunOptions &opts);
+
+} // namespace detail
 
 } // namespace sim
 } // namespace feather

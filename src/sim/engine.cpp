@@ -1,0 +1,94 @@
+#include "sim/engine.hpp"
+
+namespace feather {
+namespace sim {
+
+std::optional<EngineMode>
+parseEngineMode(const std::string &name)
+{
+    if (name == "cycle") return EngineMode::Cycle;
+    if (name == "analytic") return EngineMode::Analytic;
+    return std::nullopt;
+}
+
+std::string
+toString(EngineMode mode)
+{
+    switch (mode) {
+    case EngineMode::Cycle: return "cycle";
+    case EngineMode::Analytic: return "analytic";
+    }
+    return "?";
+}
+
+const std::vector<std::string> &
+engineModeNames()
+{
+    static const std::vector<std::string> names = {"cycle", "analytic"};
+    return names;
+}
+
+namespace {
+
+class CycleEngine final : public Engine
+{
+  public:
+    EngineMode mode() const override { return EngineMode::Cycle; }
+
+    RunResult
+    runLayer(const LayerSpec &layer, const RunOptions &opts) const override
+    {
+        return detail::runLayerCycle(layer, opts);
+    }
+
+    ChainResult
+    runChain(const std::vector<ChainStep> &steps,
+             const RunOptions &opts) const override
+    {
+        return detail::runChainCycle(steps, opts);
+    }
+};
+
+class AnalyticEngine final : public Engine
+{
+  public:
+    EngineMode mode() const override { return EngineMode::Analytic; }
+
+    RunResult
+    runLayer(const LayerSpec &layer, const RunOptions &opts) const override
+    {
+        return detail::runLayerAnalytic(layer, opts);
+    }
+
+    ChainResult
+    runChain(const std::vector<ChainStep> &steps,
+             const RunOptions &opts) const override
+    {
+        return detail::runChainAnalytic(steps, opts);
+    }
+};
+
+} // namespace
+
+const Engine &
+cycleEngine()
+{
+    static const CycleEngine engine;
+    return engine;
+}
+
+const Engine &
+analyticEngine()
+{
+    static const AnalyticEngine engine;
+    return engine;
+}
+
+const Engine &
+engineFor(EngineMode mode)
+{
+    return mode == EngineMode::Analytic ? analyticEngine() : cycleEngine();
+}
+
+} // namespace sim
+} // namespace feather

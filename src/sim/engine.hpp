@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * The two-tier simulation engine behind one interface.
+ *
+ * Every layer/chain execution in the repo goes through a sim::Engine:
+ *
+ *   - cycle    — today's bit-exact NoC replay (FeatherAccelerator): exact
+ *                deterministic counters, outputs verified against
+ *                tensor/reference_ops.
+ *   - analytic — closed-form cycle/energy estimates from the mapping's
+ *                loop structure plus one probe step of address arithmetic
+ *                (src/feather/analytic.hpp). No per-element replay, no
+ *                verification (RunResult::checked == 0); orders of
+ *                magnitude faster, with a documented accuracy bound.
+ *
+ * The free functions sim::runLayer / sim::runChain dispatch on
+ * RunOptions::engine, so existing call sites pick up the tiering by
+ * setting one field. serve::BatchEngine and model::Scheduler use analytic
+ * mode to enumerate and prune candidate spaces and fall back to cycle
+ * mode for final verified runs.
+ */
+
+#include "sim/driver.hpp"
+#include "sim/engine_mode.hpp"
+
+namespace feather {
+namespace sim {
+
+/** Documented accuracy bound of the analytic tier: the relative error of
+ *  its cycle estimate vs the cycle engine is at most this on the built-in
+ *  scenario grid (measured worst case 10.3%, most points exact), and the
+ *  analytic ranking of dataflow candidates at a fixed (scenario, array)
+ *  point matches the cycle-accurate ranking. Locked by
+ *  tests/test_engine_modes.cpp; tighten only with fresh measurements. */
+constexpr double kAnalyticBound = 0.15;
+
+/** One execution tier; stateless and thread-safe. */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    virtual EngineMode mode() const = 0;
+
+    /** Execute one layer under @p opts (opts.engine is ignored — the
+     *  engine you call decides the tier). */
+    virtual RunResult runLayer(const LayerSpec &layer,
+                               const RunOptions &opts) const = 0;
+
+    /** Execute a chain of layers (StaB ping-pong hand-off in cycle mode;
+     *  per-layer estimate composition in analytic mode). */
+    virtual ChainResult runChain(const std::vector<ChainStep> &steps,
+                                 const RunOptions &opts) const = 0;
+};
+
+/** The process-wide engine instances. */
+const Engine &cycleEngine();
+const Engine &analyticEngine();
+const Engine &engineFor(EngineMode mode);
+
+} // namespace sim
+} // namespace feather

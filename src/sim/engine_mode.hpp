@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * The simulation engine tiers (see sim/engine.hpp for the interface).
+ *
+ * Split into its own header so option structs (sim::RunOptions,
+ * sim::ScenarioOptions, serve job specs) can name a mode without pulling
+ * in the engine interface or the driver.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace feather {
+namespace sim {
+
+/** Which execution tier a run uses. */
+enum class EngineMode : uint8_t {
+    /** Bit-exact NoC replay: every partial sum flows through NEST, the
+     *  routed BIRRD network, the OB and the QM; counters are exact and
+     *  outputs verify against the reference operators. */
+    Cycle,
+    /** Closed-form cycles from the mapping's loop structure plus one
+     *  probe step of address arithmetic — no data movement, no
+     *  verification. Orders of magnitude faster; estimates carry a
+     *  documented error bound. */
+    Analytic,
+};
+
+/** Parse "cycle" or "analytic"; nullopt on anything else. */
+std::optional<EngineMode> parseEngineMode(const std::string &name);
+
+std::string toString(EngineMode mode);
+
+/** Valid --engine values, in presentation order (for error messages). */
+const std::vector<std::string> &engineModeNames();
+
+} // namespace sim
+} // namespace feather

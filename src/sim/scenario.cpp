@@ -165,9 +165,10 @@ runScenario(const Scenario &scenario, const ScenarioOptions &opts,
             std::string *error)
 {
     return runScenario(scenario, opts, error,
-                       [](DataflowKind kind, const LayerSpec &layer, int aw,
-                          int ah, std::string *err) {
-                           return planLayer(kind, layer, aw, ah, err);
+                       [](EngineMode mode, DataflowKind kind,
+                          const LayerSpec &layer, int aw, int ah,
+                          std::string *err) {
+                           return planLayer(kind, layer, aw, ah, err, mode);
                        });
 }
 
@@ -211,6 +212,7 @@ runScenario(const Scenario &scenario, const ScenarioOptions &opts,
     RunOptions ropts;
     ropts.aw = run.aw;
     ropts.ah = run.ah;
+    ropts.engine = opts.engine;
     ropts.seed = opts.seed;
     ropts.trace_events = opts.trace_events;
 
@@ -222,7 +224,7 @@ runScenario(const Scenario &scenario, const ScenarioOptions &opts,
         const DataflowKind kind =
             override_kind ? *override_kind : sl.dataflow;
         std::optional<LayerPlan> p =
-            plan(kind, sl.layer, run.aw, run.ah, error);
+            plan(opts.engine, kind, sl.layer, run.aw, run.ah, error);
         if (!p) return std::nullopt;
         plans.push_back(std::move(*p));
     }

@@ -66,6 +66,8 @@ struct ScenarioOptions
      *  This is the Fig. 10 "re-target the reduction to different StaB
      *  banks" knob: same routes, different bank assignment. */
     std::string out_layout = "concordant";
+    /** Execution tier: cycle replays and verifies, analytic estimates. */
+    EngineMode engine = EngineMode::Cycle;
     uint64_t seed = 2024;
     size_t trace_events = 0;
 };
@@ -77,8 +79,8 @@ struct ScenarioOptions
  * signature (sim stays below serve in the layering).
  */
 using PlanFn = std::function<std::optional<LayerPlan>(
-    DataflowKind kind, const LayerSpec &layer, int aw, int ah,
-    std::string *error)>;
+    EngineMode mode, DataflowKind kind, const LayerSpec &layer, int aw,
+    int ah, std::string *error)>;
 
 /**
  * Run @p scenario under @p opts, honouring per-layer dataflow families

@@ -90,20 +90,23 @@ TEST(PlanCache, CountsMissesOncePerKeyThenHits)
 {
     PlanCache cache;
     const LayerSpec conv = sim::convLayer("c", 8, 8, 8, 3, 1, 1);
-    EXPECT_TRUE(
-        cache.getOrPlan(sim::DataflowKind::Canonical, conv, 4, 4).has_value());
+    EXPECT_TRUE(cache.getOrPlan(sim::EngineMode::Cycle,
+                                sim::DataflowKind::Canonical, conv, 4, 4)
+                    .has_value());
     EXPECT_EQ(cache.stats().misses, 1u);
     EXPECT_EQ(cache.stats().hits, 0u);
 
-    EXPECT_TRUE(
-        cache.getOrPlan(sim::DataflowKind::Canonical, conv, 4, 4).has_value());
+    EXPECT_TRUE(cache.getOrPlan(sim::EngineMode::Cycle,
+                                sim::DataflowKind::Canonical, conv, 4, 4)
+                    .has_value());
     EXPECT_EQ(cache.stats().misses, 1u);
     EXPECT_EQ(cache.stats().hits, 1u);
     EXPECT_EQ(cache.stats().entries, 1u);
 
     // Different array size = different planning point.
-    EXPECT_TRUE(
-        cache.getOrPlan(sim::DataflowKind::Canonical, conv, 8, 8).has_value());
+    EXPECT_TRUE(cache.getOrPlan(sim::EngineMode::Cycle,
+                                sim::DataflowKind::Canonical, conv, 8, 8)
+                    .has_value());
     EXPECT_EQ(cache.stats().misses, 2u);
     EXPECT_EQ(cache.stats().entries, 2u);
 }
@@ -113,10 +116,12 @@ TEST(PlanCache, KeysOnShapeNotName)
     PlanCache cache;
     const LayerSpec a = sim::convLayer("first_name", 8, 8, 8, 3, 1, 1);
     const LayerSpec b = sim::convLayer("other_name", 8, 8, 8, 3, 1, 1);
-    EXPECT_TRUE(
-        cache.getOrPlan(sim::DataflowKind::Canonical, a, 4, 4).has_value());
-    EXPECT_TRUE(
-        cache.getOrPlan(sim::DataflowKind::Canonical, b, 4, 4).has_value());
+    EXPECT_TRUE(cache.getOrPlan(sim::EngineMode::Cycle,
+                                sim::DataflowKind::Canonical, a, 4, 4)
+                    .has_value());
+    EXPECT_TRUE(cache.getOrPlan(sim::EngineMode::Cycle,
+                                sim::DataflowKind::Canonical, b, 4, 4)
+                    .has_value());
     EXPECT_EQ(cache.stats().misses, 1u);
     EXPECT_EQ(cache.stats().hits, 1u);
 }
@@ -126,7 +131,8 @@ TEST(PlanCache, PlanMatchesUncachedPlanLayer)
     PlanCache cache;
     const LayerSpec conv = sim::convLayer("c", 16, 14, 16, 3, 1, 1);
     const auto cached =
-        cache.getOrPlan(sim::DataflowKind::ChannelParallel, conv, 8, 8);
+        cache.getOrPlan(sim::EngineMode::Cycle,
+                        sim::DataflowKind::ChannelParallel, conv, 8, 8);
     const auto direct =
         sim::planLayer(sim::DataflowKind::ChannelParallel, conv, 8, 8);
     ASSERT_TRUE(cached.has_value());
@@ -145,7 +151,9 @@ TEST(PlanCache, ConcurrentLookupsStayConsistent)
     for (int t = 0; t < 8; ++t) {
         threads.emplace_back([&] {
             for (int i = 0; i < 50; ++i) {
-                if (!cache.getOrPlan(sim::DataflowKind::Canonical, conv, 4, 4)
+                if (!cache.getOrPlan(sim::EngineMode::Cycle,
+                                     sim::DataflowKind::Canonical, conv, 4,
+                                     4)
                          .has_value()) {
                     failures.fetch_add(1);
                 }
@@ -249,6 +257,9 @@ TEST(BatchFile, ParsesJobsAndRejectsMalformedLines)
 // Engine: determinism, cache accounting, failure isolation
 // ---------------------------------------------------------------------------
 
+using golden::zeroWallCsv;
+using golden::zeroWallJson;
+
 BatchReport
 sweepReport(const std::string &scenario, int num_threads)
 {
@@ -268,8 +279,8 @@ TEST(Engine, ReportIsBitIdenticalAcrossThreadCounts)
 {
     const BatchReport one = sweepReport("quickstart_conv", 1);
     const BatchReport eight = sweepReport("quickstart_conv", 8);
-    EXPECT_EQ(one.toCsv(), eight.toCsv());
-    EXPECT_EQ(one.toJson(), eight.toJson());
+    EXPECT_EQ(zeroWallCsv(one.toCsv()), zeroWallCsv(eight.toCsv()));
+    EXPECT_EQ(zeroWallJson(one.toJson()), zeroWallJson(eight.toJson()));
     EXPECT_TRUE(one.allOk());
 }
 
@@ -279,8 +290,8 @@ TEST(Engine, ChainScenarioSweepIsDeterministicToo)
     // the same contract.
     const BatchReport one = sweepReport("dw_separable", 1);
     const BatchReport six = sweepReport("dw_separable", 6);
-    EXPECT_EQ(one.toCsv(), six.toCsv());
-    EXPECT_EQ(one.toJson(), six.toJson());
+    EXPECT_EQ(zeroWallCsv(one.toCsv()), zeroWallCsv(six.toCsv()));
+    EXPECT_EQ(zeroWallJson(one.toJson()), zeroWallJson(six.toJson()));
     EXPECT_TRUE(one.allOk());
 }
 
@@ -360,7 +371,8 @@ TEST(Report, CsvHasHeaderAndOneRowPerJob)
     const std::string csv = report.toCsv();
     EXPECT_EQ(csv.rfind("job,scenario,dataflow,layout,aw,ah,seed,status,"
                         "layers,cycles,macs,utilization,rd_stalls,"
-                        "wr_stalls,checked,mismatches,error\n",
+                        "wr_stalls,checked,mismatches,engine_mode,"
+                        "sim_wall_us,arena_peak_bytes,error\n",
                         0),
               0u);
     size_t lines = 0;
