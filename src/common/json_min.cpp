@@ -1,0 +1,217 @@
+#include "common/json_min.hpp"
+
+#include <cctype>
+
+#include "common/log.hpp"
+#include "common/parse.hpp"
+
+namespace feather {
+namespace {
+
+struct Cursor
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    void skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool done() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+};
+
+bool
+parseString(Cursor *c, std::string *out, std::string *error)
+{
+    ++c->pos; // opening quote
+    out->clear();
+    while (!c->done() && c->peek() != '"') {
+        char ch = c->peek();
+        if (ch == '\\') {
+            ++c->pos;
+            if (c->done()) break;
+            switch (c->peek()) {
+            case '"': ch = '"'; break;
+            case '\\': ch = '\\'; break;
+            case '/': ch = '/'; break;
+            case 'n': ch = '\n'; break;
+            case 't': ch = '\t'; break;
+            case 'r': ch = '\r'; break;
+            default:
+                *error = strCat("unsupported escape '\\",
+                                std::string(1, c->peek()), "' at offset ",
+                                c->pos);
+                return false;
+            }
+        }
+        out->push_back(ch);
+        ++c->pos;
+    }
+    if (c->done()) {
+        *error = "unterminated string";
+        return false;
+    }
+    ++c->pos; // closing quote
+    return true;
+}
+
+bool
+parseScalar(Cursor *c, JsonScalar *out, std::string *error)
+{
+    const char ch = c->peek();
+    if (ch == '"') {
+        out->kind = JsonScalar::Kind::String;
+        return parseString(c, &out->text, error);
+    }
+    if (ch == '{' || ch == '[') {
+        *error = strCat("nested ", ch == '{' ? "objects" : "arrays",
+                        " are not allowed (offset ", c->pos, ")");
+        return false;
+    }
+    if (c->text.compare(c->pos, 4, "true") == 0) {
+        out->kind = JsonScalar::Kind::Bool;
+        out->boolean = true;
+        out->text = "true";
+        c->pos += 4;
+        return true;
+    }
+    if (c->text.compare(c->pos, 5, "false") == 0) {
+        out->kind = JsonScalar::Kind::Bool;
+        out->boolean = false;
+        out->text = "false";
+        c->pos += 5;
+        return true;
+    }
+    if (c->text.compare(c->pos, 4, "null") == 0) {
+        out->kind = JsonScalar::Kind::Null;
+        out->text = "null";
+        c->pos += 4;
+        return true;
+    }
+    // Number: optional '-', digits, optional fraction/exponent. The raw
+    // text is kept verbatim so integer consumers stay exact.
+    const size_t start = c->pos;
+    if (!c->done() && c->peek() == '-') ++c->pos;
+    size_t digits = 0;
+    while (!c->done()) {
+        const char d = c->peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+            ++digits;
+        } else if (d != '.' && d != 'e' && d != 'E' && d != '+' &&
+                   d != '-') {
+            break;
+        }
+        ++c->pos;
+    }
+    if (digits == 0) {
+        *error = strCat("expected a JSON value at offset ", start);
+        return false;
+    }
+    out->kind = JsonScalar::Kind::Number;
+    out->text = c->text.substr(start, c->pos - start);
+    return true;
+}
+
+} // namespace
+
+bool
+JsonScalar::asUint(uint64_t *out) const
+{
+    return kind == Kind::Number && parseUint(text, out);
+}
+
+bool
+JsonScalar::asInt(int64_t *out) const
+{
+    if (kind != Kind::Number) return false;
+    const bool negative = !text.empty() && text[0] == '-';
+    uint64_t magnitude = 0;
+    if (!parseUint(negative ? text.substr(1) : text, &magnitude)) {
+        return false;
+    }
+    if (negative) {
+        if (magnitude > uint64_t(INT64_MAX) + 1) return false;
+        *out = magnitude == uint64_t(INT64_MAX) + 1
+                   ? INT64_MIN
+                   : -int64_t(magnitude);
+    } else {
+        if (magnitude > uint64_t(INT64_MAX)) return false;
+        *out = int64_t(magnitude);
+    }
+    return true;
+}
+
+bool
+JsonObject::parse(const std::string &text, JsonObject *out,
+                  std::string *error)
+{
+    out->entries_.clear();
+    Cursor c{text};
+    c.skipSpace();
+    if (c.done() || c.peek() != '{') {
+        *error = "expected a JSON object ('{' ... '}')";
+        return false;
+    }
+    ++c.pos;
+    c.skipSpace();
+    bool first = true;
+    while (!c.done() && c.peek() != '}') {
+        if (!first) {
+            if (c.peek() != ',') {
+                *error = strCat("expected ',' or '}' at offset ", c.pos);
+                return false;
+            }
+            ++c.pos;
+            c.skipSpace();
+        }
+        first = false;
+        if (c.done() || c.peek() != '"') {
+            *error = strCat("expected a quoted key at offset ", c.pos);
+            return false;
+        }
+        std::string key;
+        if (!parseString(&c, &key, error)) return false;
+        if (out->find(key) != nullptr) {
+            *error = strCat("duplicate key \"", key, "\"");
+            return false;
+        }
+        c.skipSpace();
+        if (c.done() || c.peek() != ':') {
+            *error = strCat("expected ':' after key \"", key, "\"");
+            return false;
+        }
+        ++c.pos;
+        c.skipSpace();
+        JsonScalar value;
+        if (!parseScalar(&c, &value, error)) return false;
+        out->entries_.emplace_back(std::move(key), std::move(value));
+        c.skipSpace();
+    }
+    if (c.done()) {
+        *error = "unterminated object (missing '}')";
+        return false;
+    }
+    ++c.pos; // '}'
+    c.skipSpace();
+    if (!c.done()) {
+        *error = strCat("trailing characters at offset ", c.pos);
+        return false;
+    }
+    return true;
+}
+
+const JsonScalar *
+JsonObject::find(const std::string &key) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.first == key) return &entry.second;
+    }
+    return nullptr;
+}
+
+} // namespace feather

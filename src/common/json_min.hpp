@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal strict parser for flat JSON objects — the request wire format
+ * of the serving daemon (one object per line, scalar values only).
+ *
+ * This is deliberately not a general JSON library: daemon requests are
+ * flat by design so that every field is a CLI-style key/value pair, and
+ * rejecting nested containers keeps malformed input errors short and
+ * actionable. Keys keep their input order (useful for error reporting
+ * and deterministic iteration); duplicate keys are an error.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace feather {
+
+/** One scalar JSON value, with the raw text preserved for numbers. */
+struct JsonScalar
+{
+    enum class Kind
+    {
+        String,
+        Number,
+        Bool,
+        Null,
+    };
+
+    Kind kind = Kind::Null;
+    std::string text; ///< string contents (unescaped) or raw number text
+    bool boolean = false;
+
+    /** Number -> uint64; false unless kind==Number and it fits. */
+    bool asUint(uint64_t *out) const;
+    /** Number -> int64 (optional leading '-'); false otherwise. */
+    bool asInt(int64_t *out) const;
+};
+
+/** A parsed flat JSON object: ordered (key, scalar) pairs. */
+class JsonObject
+{
+  public:
+    /**
+     * Parse @p text as a single flat JSON object. Returns false and sets
+     * @p error (never empty on failure) for: non-object input, nested
+     * objects/arrays, trailing garbage, bad escapes, duplicate keys, or
+     * any other syntax error.
+     */
+    static bool parse(const std::string &text, JsonObject *out,
+                      std::string *error);
+
+    const std::vector<std::pair<std::string, JsonScalar>> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Value for @p key, or nullptr when absent. */
+    const JsonScalar *find(const std::string &key) const;
+
+  private:
+    std::vector<std::pair<std::string, JsonScalar>> entries_;
+};
+
+} // namespace feather

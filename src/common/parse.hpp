@@ -29,4 +29,20 @@ parseUint(const std::string &text, uint64_t *out)
     return true;
 }
 
+/**
+ * Parse a strictly positive decimal integer bounded by @p max (inclusive);
+ * false on empty input, non-digits, zero, overflow, or values above
+ * @p max. The CLI flag validators (--jobs, --seed, --qps, --requests)
+ * share this so "reject non-numeric and <= 0" means the same everywhere.
+ */
+inline bool
+parsePositive(const std::string &text, uint64_t *out,
+              uint64_t max = UINT64_MAX)
+{
+    uint64_t v = 0;
+    if (!parseUint(text, &v) || v == 0 || v > max) return false;
+    *out = v;
+    return true;
+}
+
 } // namespace feather

@@ -1,0 +1,98 @@
+#include "common/report_norm.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace feather {
+
+bool
+isWallReportField(const std::string &name)
+{
+    static const std::string suffix = "_wall_us";
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+std::string
+zeroWallCsv(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::string line, out;
+    std::vector<size_t> wall_cols;
+    bool header = true;
+    while (std::getline(in, line)) {
+        std::vector<std::string> cells;
+        std::istringstream cells_in(line);
+        std::string cell;
+        while (std::getline(cells_in, cell, ',')) cells.push_back(cell);
+        if (header) {
+            for (size_t i = 0; i < cells.size(); ++i) {
+                if (isWallReportField(cells[i])) wall_cols.push_back(i);
+            }
+            header = false;
+        } else {
+            for (size_t col : wall_cols) {
+                if (col < cells.size()) cells[col] = "0";
+            }
+        }
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0) out += ',';
+            out += cells[i];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+zeroWallJson(std::string json)
+{
+    // Scan quoted tokens; a token is a key iff ':' follows its closing
+    // quote. Wall keys get their (optionally signed) integer value
+    // replaced by 0; everything else is copied through untouched, so the
+    // normalizer works on any of the JSON / JSON-lines reports.
+    for (size_t i = 0; i < json.size(); ++i) {
+        if (json[i] != '"') continue;
+        std::string token;
+        size_t j = i + 1;
+        for (; j < json.size() && json[j] != '"'; ++j) {
+            if (json[j] == '\\' && j + 1 < json.size()) ++j;
+            token += json[j];
+        }
+        i = j;
+        if (j + 1 >= json.size() || json[j + 1] != ':' ||
+            !isWallReportField(token)) {
+            continue;
+        }
+        size_t pos = j + 2;
+        size_t end = pos;
+        if (end < json.size() && json[end] == '-') ++end;
+        while (end < json.size() &&
+               std::isdigit(static_cast<unsigned char>(json[end]))) {
+            ++end;
+        }
+        if (end > pos) {
+            json.replace(pos, end - pos, "0");
+            i = pos; // continue after the replaced value
+        }
+    }
+    return json;
+}
+
+std::string
+zeroWallReport(const std::string &text, const std::string &format)
+{
+    if (format == "csv") return zeroWallCsv(text);
+    if (format == "json") return zeroWallJson(text);
+    size_t first = 0;
+    while (first < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[first]))) {
+        ++first;
+    }
+    const bool json = first < text.size() && text[first] == '{';
+    return json ? zeroWallJson(text) : zeroWallCsv(text);
+}
+
+} // namespace feather

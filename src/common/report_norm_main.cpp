@@ -1,0 +1,45 @@
+/**
+ * @file
+ * `feather_report_norm`: the CI-facing wrapper of common/report_norm.
+ *
+ *   $ feather_report_norm auto  < report.json > report.norm.json
+ *   $ feather_report_norm csv   report.csv    > report.norm.csv
+ *
+ * Zeroes every wall-clock field (`*_wall_us`) of a CSV / JSON / JSON-lines
+ * report so CI determinism diffs share one normalizer with the unit-test
+ * golden suites instead of re-implementing it in awk/sed per workflow.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/report_norm.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const std::string format = argc > 1 ? argv[1] : "";
+    if (format != "csv" && format != "json" && format != "auto") {
+        std::fprintf(stderr,
+                     "usage: feather_report_norm csv|json|auto [FILE]\n"
+                     "zeroes *_wall_us report fields (stdin when no FILE) "
+                     "and writes the result to stdout\n");
+        return 2;
+    }
+    std::ostringstream text;
+    if (argc > 2) {
+        std::ifstream in(argv[2], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read '%s'\n", argv[2]);
+            return 2;
+        }
+        text << in.rdbuf();
+    } else {
+        text << std::cin.rdbuf();
+    }
+    std::cout << feather::zeroWallReport(text.str(), format);
+    return 0;
+}

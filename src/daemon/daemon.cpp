@@ -1,0 +1,485 @@
+#include "daemon/daemon.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/graph.hpp"
+#include "model/scheduler.hpp"
+#include "sim/scenario.hpp"
+
+namespace feather {
+namespace daemon {
+
+namespace {
+
+/** Dataflow families a model request enumerates — must mirror the
+ *  scheduler's candidate enumeration so pre-planning warms exactly the
+ *  keys Scheduler::evaluate will look up. */
+constexpr sim::DataflowKind kModelFamilies[] = {
+    sim::DataflowKind::Canonical,
+    sim::DataflowKind::ChannelParallel,
+    sim::DataflowKind::WindowParallel,
+};
+
+std::string
+reasonLine(const Request &req, const char *status, const std::string &reason)
+{
+    return strCat("{\"id\":\"", jsonEscape(req.id), "\",\"client\":\"",
+                  jsonEscape(req.client), "\",\"status\":\"", status,
+                  "\",\"reason\":\"", jsonEscape(reason), "\"}");
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions opts) : opts_(opts)
+{
+    if (opts_.num_threads < 1) opts_.num_threads = 1;
+    if (opts_.clock_mhz < 1) opts_.clock_mhz = 1;
+    pool_ = std::make_unique<serve::ThreadPool>(opts_.num_threads);
+    start_ = std::chrono::steady_clock::now();
+}
+
+Daemon::~Daemon()
+{
+    // Speculative executions hold raw pointers into intake_/processed_;
+    // let them land before the members go away.
+    if (pool_) pool_->wait();
+}
+
+int64_t
+Daemon::wallSinceStartUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+std::string
+Daemon::preplanLocked(const Request &req, ClientStats *stats)
+{
+    const sim::EngineMode mode = req.engine ? *req.engine : opts_.engine;
+    // One planning point: count hit/miss against the admission-time
+    // planning history (racing the pool's runtime lookups would make
+    // per-client counters timing-dependent), then actually plan.
+    const auto plan_point = [&](sim::DataflowKind kind,
+                                const LayerSpec &layer, int aw, int ah,
+                                std::string *err) {
+        const std::string key =
+            serve::PlanCache::key(mode, kind, layer, aw, ah);
+        if (planned_keys_.insert(key).second) {
+            ++stats->cache_misses;
+        } else {
+            ++stats->cache_hits;
+        }
+        return cache_.getOrPlan(mode, kind, layer, aw, ah, err).has_value();
+    };
+
+    if (!req.isModel()) {
+        const sim::Scenario *scenario = sim::findScenario(req.scenario);
+        if (!scenario) {
+            return strCat("unknown scenario \"", req.scenario, "\"");
+        }
+        const int aw = req.aw > 0 ? req.aw : scenario->default_aw;
+        const int ah = req.ah > 0 ? req.ah : scenario->default_ah;
+        std::optional<sim::DataflowKind> forced;
+        if (!req.dataflow.empty()) {
+            forced = sim::parseDataflow(req.dataflow);
+            if (!forced) {
+                return strCat("unknown dataflow \"", req.dataflow, "\"");
+            }
+        }
+        for (const sim::ScenarioLayer &sl : scenario->layers) {
+            std::string err;
+            if (!plan_point(forced ? *forced : sl.dataflow, sl.layer, aw,
+                            ah, &err)) {
+                return strCat("layer ", sl.layer.name, ": ", err);
+            }
+        }
+        return "";
+    }
+
+    const model::ModelGraph *graph = model::findModel(req.model);
+    if (!graph) {
+        return strCat("unknown model \"", req.model, "\"");
+    }
+    std::string err;
+    if (!model::parseSchedule(req.schedule, &err)) return err;
+    const int aw = req.aw > 0 ? req.aw : graph->default_aw;
+    const int ah = req.ah > 0 ? req.ah : graph->default_ah;
+    for (const model::ModelLayer &ml : graph->layers) {
+        bool feasible = false;
+        for (sim::DataflowKind kind : kModelFamilies) {
+            if (plan_point(kind, ml.spec, aw, ah, &err)) feasible = true;
+        }
+        if (!feasible) {
+            return strCat("no dataflow family fits ", ml.spec.name, " on a ",
+                          aw, "x", ah, " array: ", err);
+        }
+    }
+    return "";
+}
+
+void
+Daemon::enqueue(Request req, ResponseSink sink)
+{
+    auto p = std::make_unique<Pending>();
+    p->req = std::move(req);
+    p->sink = std::move(sink);
+    p->done_future = p->done.get_future();
+
+    bool runnable = false;
+    Pending *raw = p.get();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (closed_) {
+            // Late arrival racing shutdown (TCP). Answer directly — the
+            // event loop may already be unreachable.
+            if (p->sink) {
+                p->sink(reasonLine(p->req, "rejected", "intake closed"));
+            }
+            return;
+        }
+        p->index = next_index_++;
+        ++total_requests_;
+        if (p->req.id.empty()) p->req.id = strCat("r", p->index);
+        p->enqueue_wall_us = wallSinceStartUs();
+        p->arrival_vus = p->req.arrival_us >= 0 ? p->req.arrival_us
+                                                : p->enqueue_wall_us;
+        ClientStats &cs = clients_[p->req.client];
+        ++cs.requests;
+        if (p->early_error.empty()) {
+            p->early_error = preplanLocked(p->req, &cs);
+        }
+        runnable = p->early_error.empty();
+        intake_.push_back(std::move(p));
+    }
+    // Continuous batching: the simulation starts the moment the request
+    // is planned, regardless of admission (decided later, in virtual
+    // time). A rejected request's result is simply discarded.
+    if (runnable) {
+        pool_->submit([this, raw] { execute(raw); });
+    }
+    intake_cv_.notify_one();
+}
+
+void
+Daemon::enqueueLine(const std::string &line, ResponseSink sink)
+{
+    auto p = std::make_unique<Pending>();
+    std::string error;
+    if (!Request::parse(line, &p->req, &error)) {
+        // Attribute the failure to the line's client when that field
+        // parsed before the error; "anon" otherwise.
+        Request bad = p->req;
+        bad.scenario.clear();
+        bad.model.clear();
+        Pending *raw = p.get();
+        raw->early_error = strCat("bad request line: ", error);
+        raw->req = std::move(bad);
+        raw->sink = std::move(sink);
+        raw->done_future = raw->done.get_future();
+        std::lock_guard<std::mutex> lk(mu_);
+        if (closed_) return;
+        raw->index = next_index_++;
+        ++total_requests_;
+        if (raw->req.id.empty()) raw->req.id = strCat("r", raw->index);
+        raw->enqueue_wall_us = wallSinceStartUs();
+        raw->arrival_vus = raw->enqueue_wall_us;
+        ++clients_[raw->req.client].requests;
+        intake_.push_back(std::move(p));
+        intake_cv_.notify_one();
+        return;
+    }
+    enqueue(std::move(p->req), std::move(sink));
+}
+
+void
+Daemon::closeIntake()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+    }
+    intake_cv_.notify_all();
+}
+
+void
+Daemon::execute(Pending *p)
+{
+    const auto exec_start = std::chrono::steady_clock::now();
+    ExecResult &r = p->exec;
+    r.queue_wall_us = wallSinceStartUs() - p->enqueue_wall_us;
+    const uint64_t seed =
+        p->req.seed ? *p->req.seed
+                    : Rng::deriveStream(opts_.base_seed, p->index);
+    const sim::EngineMode mode =
+        p->req.engine ? *p->req.engine : opts_.engine;
+    try {
+        if (!p->req.isModel()) {
+            const sim::Scenario *scenario =
+                sim::findScenario(p->req.scenario);
+            FEATHER_CHECK(scenario != nullptr,
+                          "pre-planned scenario vanished");
+            sim::ScenarioOptions sopts;
+            sopts.aw = p->req.aw;
+            sopts.ah = p->req.ah;
+            sopts.dataflow = p->req.dataflow;
+            sopts.layout = p->req.layout;
+            sopts.out_layout = p->req.out_layout;
+            sopts.engine = mode;
+            sopts.seed = seed;
+            std::string err;
+            const std::optional<sim::ScenarioRun> run =
+                sim::runScenario(*scenario, sopts, &err, cache_.planFn());
+            if (!run) {
+                r.error = err;
+            } else {
+                r.ok = true;
+                r.est = mode == sim::EngineMode::Analytic;
+                for (const sim::RunResult &lr : run->chain.layers) {
+                    r.cycles += lr.stats.cycles;
+                    r.macs += lr.stats.macs;
+                }
+                r.checked = run->chain.checked;
+                r.mismatches = run->chain.mismatches;
+            }
+        } else {
+            const model::ModelGraph *graph = model::findModel(p->req.model);
+            FEATHER_CHECK(graph != nullptr, "pre-planned model vanished");
+            const std::optional<model::SchedulePolicy> policy =
+                model::parseSchedule(p->req.schedule);
+            FEATHER_CHECK(policy.has_value(),
+                          "pre-validated schedule vanished");
+            model::SchedulerOptions mopts;
+            mopts.aw = p->req.aw;
+            mopts.ah = p->req.ah;
+            // One request = one pool slot; parallelism comes from serving
+            // many requests, not from fanning out inside one.
+            mopts.num_threads = 1;
+            mopts.seed = seed;
+            mopts.engine = mode;
+            mopts.shared_cache = &cache_;
+            model::Scheduler sched(mopts);
+            std::string err;
+            const std::optional<model::Evaluation> eval =
+                sched.evaluate(*graph, &err);
+            std::optional<model::ScheduleResult> result;
+            if (eval) result = sched.schedule(*graph, *eval, *policy, &err);
+            if (!result) {
+                r.error = err;
+            } else {
+                // The measured chain is always cycle-accurate, whatever
+                // tier evaluated the candidates — so model results are
+                // verified ("ok"), never estimates.
+                r.ok = true;
+                r.cycles = result->cycles;
+                r.macs = result->macs;
+                r.checked = result->checked;
+                r.mismatches = result->mismatches;
+            }
+        }
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+    r.service_wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - exec_start)
+            .count();
+    p->done.set_value();
+}
+
+void
+Daemon::respond(Pending *p, const std::string &line)
+{
+    if (p->sink) p->sink(line);
+}
+
+void
+Daemon::finishOne(Pending *p, int64_t start_vus, int64_t finish_vus)
+{
+    const ExecResult &r = p->exec;
+    if (!r.ok) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++clients_[p->req.client].errors;
+            ++failures_;
+        }
+        respond(p, reasonLine(p->req, "ERROR", r.error));
+        return;
+    }
+    const int64_t queue_vus = start_vus - p->arrival_vus;
+    const int64_t latency_vus = finish_vus - p->arrival_vus;
+    const char *status =
+        r.est ? "est" : (r.mismatches == 0 ? "ok" : "MISMATCH");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ClientStats &cs = clients_[p->req.client];
+        ++cs.accepted;
+        cs.cycles += r.cycles;
+        cs.macs += r.macs;
+        cs.latency.record(latency_vus);
+        cs.queue_vus += queue_vus;
+        cs.service_vus += p->service_vus;
+        cs.queue_wall_us += r.queue_wall_us;
+        cs.service_wall_us += r.service_wall_us;
+        if (r.mismatches != 0) ++failures_;
+    }
+    respond(p, strCat("{\"id\":\"", jsonEscape(p->req.id),
+                      "\",\"client\":\"", jsonEscape(p->req.client),
+                      "\",\"status\":\"", status, "\",\"cycles\":", r.cycles,
+                      ",\"macs\":", r.macs, ",\"checked\":", r.checked,
+                      ",\"mismatches\":", r.mismatches,
+                      ",\"queue_vus\":", queue_vus,
+                      ",\"service_vus\":", p->service_vus,
+                      ",\"latency_vus\":", latency_vus,
+                      ",\"finish_vus\":", finish_vus,
+                      ",\"service_wall_us\":", r.service_wall_us, "}"));
+}
+
+DaemonReport
+Daemon::run()
+{
+    // Requests the DES admitted, indexed by DES position.
+    std::vector<Pending *> des;
+    VirtualScheduler vs(
+        opts_.virt,
+        [this, &des](size_t pos) {
+            Pending *p = des[pos];
+            // The one synchronization point between virtual time and the
+            // wall-clock pool: a request's service duration is known once
+            // its speculative execution lands.
+            p->done_future.wait();
+            const int64_t cycles = p->exec.ok ? p->exec.cycles : 0;
+            p->service_vus = std::max<int64_t>(
+                1, (cycles + int64_t(opts_.clock_mhz) - 1) /
+                       int64_t(opts_.clock_mhz));
+            return p->service_vus;
+        },
+        [this, &des](size_t pos, int64_t start_vus, int64_t finish_vus) {
+            finishOne(des[pos], start_vus, finish_vus);
+        });
+
+    int64_t last_arrival = 0;
+    for (;;) {
+        std::unique_ptr<Pending> item;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            intake_cv_.wait(lk,
+                            [this] { return !intake_.empty() || closed_; });
+            if (intake_.empty()) break;
+            item = std::move(intake_.front());
+            intake_.pop_front();
+        }
+        Pending *p = item.get();
+        processed_.push_back(std::move(item));
+
+        if (!p->early_error.empty()) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++clients_[p->req.client].errors;
+                ++failures_;
+            }
+            respond(p, reasonLine(p->req, "ERROR", p->early_error));
+            continue;
+        }
+        if (p->arrival_vus < last_arrival) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++clients_[p->req.client].errors;
+                ++failures_;
+            }
+            respond(p, reasonLine(
+                           p->req, "ERROR",
+                           strCat("arrival_us ", p->arrival_vus,
+                                  " is earlier than a previous request's ",
+                                  last_arrival, " (pinned arrivals must be"
+                                  " non-decreasing)")));
+            continue;
+        }
+        last_arrival = p->arrival_vus;
+
+        const size_t pos = des.size();
+        des.push_back(p);
+        std::string reason;
+        if (!vs.arrive(pos, p->arrival_vus, p->req.priority, &reason)) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++clients_[p->req.client].rejected;
+            }
+            respond(p, reasonLine(p->req, "rejected", reason));
+        }
+    }
+    vs.drain();
+    // Discarded speculative executions (rejected requests) may still be
+    // in flight; land them before reading the cache counters.
+    pool_->wait();
+    return buildReport(vs);
+}
+
+uint64_t
+Daemon::failures() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return failures_;
+}
+
+DaemonReport
+Daemon::buildReport(const VirtualScheduler &vs) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    DaemonReport rep;
+    rep.base_seed = opts_.base_seed;
+    rep.vworkers = opts_.virt.vworkers;
+    rep.clock_mhz = opts_.clock_mhz;
+    rep.engine = sim::toString(opts_.engine);
+
+    LatencyHistogram all;
+    for (const auto &[name, cs] : clients_) {
+        ClientRow row;
+        row.client = name;
+        row.requests = cs.requests;
+        row.accepted = cs.accepted;
+        row.rejected = cs.rejected;
+        row.errors = cs.errors;
+        row.cache_hits = cs.cache_hits;
+        row.cache_misses = cs.cache_misses;
+        row.total_cycles = cs.cycles;
+        row.p50_vus = cs.latency.percentile(50);
+        row.p95_vus = cs.latency.percentile(95);
+        row.p99_vus = cs.latency.percentile(99);
+        const uint64_t n = cs.latency.count();
+        row.mean_queue_vus = n ? double(cs.queue_vus) / double(n) : 0.0;
+        row.mean_service_vus = n ? double(cs.service_vus) / double(n) : 0.0;
+        row.queue_wall_us = cs.queue_wall_us;
+        row.service_wall_us = cs.service_wall_us;
+        rep.clients.push_back(std::move(row));
+
+        rep.requests += cs.requests;
+        rep.accepted += cs.accepted;
+        rep.rejected += cs.rejected;
+        rep.errors += cs.errors;
+        rep.total_cycles += cs.cycles;
+        rep.total_macs += cs.macs;
+        all.merge(cs.latency);
+    }
+    rep.p50_vus = all.percentile(50);
+    rep.p95_vus = all.percentile(95);
+    rep.p99_vus = all.percentile(99);
+    rep.max_vus = all.max();
+    rep.makespan_vus = vs.lastFinish();
+    rep.virtual_rps = rep.makespan_vus > 0
+                          ? double(rep.accepted) * 1e6 /
+                                double(rep.makespan_vus)
+                          : 0.0;
+    rep.cache = cache_.stats();
+    rep.run_wall_us = wallSinceStartUs();
+    return rep;
+}
+
+} // namespace daemon
+} // namespace feather

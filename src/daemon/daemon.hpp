@@ -1,0 +1,197 @@
+#pragma once
+
+/**
+ * @file
+ * The long-running serving daemon: a persistent event loop with
+ * continuous batching, admission control and a warm shared plan cache.
+ *
+ * Lifecycle:
+ *   - Frontend threads (stdin reader, TCP connections, the load
+ *     generator, a trace replayer) call enqueue()/enqueueLine() as
+ *     requests arrive. Enqueue validates the request, *pre-plans* it
+ *     through the shared PlanCache (attributing per-client hits/misses
+ *     under the intake lock, so attribution is deterministic), and
+ *     immediately submits its simulation to the wall-clock thread pool —
+ *     speculative, continuous execution with no wave barrier.
+ *   - run() — the event loop, on the caller's thread — consumes requests
+ *     in intake order and feeds their arrivals to the VirtualScheduler,
+ *     which decides admission and virtual timing. Responses (one JSON
+ *     line each) are emitted from this single thread, in deterministic
+ *     order for pinned-arrival request streams.
+ *   - closeIntake() (EOF / shutdown control line) lets run() drain and
+ *     return the final DaemonReport.
+ *
+ * Determinism: for a request stream with pinned arrival_us values, every
+ * response and every report field other than `*_wall_us` is bit-identical
+ * at any pool size, because all serving decisions happen in virtual time
+ * on the DES thread and each request's simulation draws from its own
+ * derived RNG stream (Rng::deriveStream(base_seed, intake_index)).
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "daemon/report.hpp"
+#include "daemon/request.hpp"
+#include "daemon/vclock.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace feather {
+namespace daemon {
+
+/** Daemon-wide knobs. */
+struct DaemonOptions
+{
+    /** Wall-clock worker pool size (`--jobs N`); affects throughput and
+     *  `*_wall_us` fields only, never results. */
+    int num_threads = 1;
+    uint64_t base_seed = 2024; ///< stream base for per-request seeds
+    /** Default engine tier for requests that do not pin one. */
+    sim::EngineMode engine = sim::EngineMode::Cycle;
+    /** Virtual serving system (vworkers, queue depth, quotas). */
+    VirtualConfig virt;
+    /** Virtual clock: service_vus = ceil(cycles / clock_mhz). */
+    uint64_t clock_mhz = 1000;
+};
+
+/** Where a request's response line goes (per-request: TCP connections
+ *  each bring their own sink). Called only from the run() thread. */
+using ResponseSink = std::function<void(const std::string &line)>;
+
+/** Persistent serving daemon over the batch simulation engine. */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions opts = {});
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Parse @p line and enqueue it; unparsable lines become error
+     *  responses attributed to client "_invalid" (or the line's client
+     *  when that field parsed before the failure). */
+    void enqueueLine(const std::string &line, ResponseSink sink);
+
+    /** Enqueue an already-parsed request. */
+    void enqueue(Request req, ResponseSink sink);
+
+    /** No further requests; run() returns once the queue drains. */
+    void closeIntake();
+
+    /**
+     * The event loop: processes intake until closeIntake() and every
+     * request has been answered, then returns the final report. Call
+     * exactly once, from one thread (enqueue is safe concurrently).
+     */
+    DaemonReport run();
+
+    /** Requests that failed (parse, validation, execution, mismatch) —
+     *  admission rejections are serving behavior, not failures. */
+    uint64_t failures() const;
+
+    serve::PlanCache &cache() { return cache_; }
+    const DaemonOptions &options() const { return opts_; }
+
+  private:
+    /** Outcome of one speculative execution (filled on a pool thread). */
+    struct ExecResult
+    {
+        bool ok = false;
+        std::string error;
+        bool est = false; ///< analytic scenario run: nothing to verify
+        int64_t cycles = 0;
+        int64_t macs = 0;
+        int64_t checked = 0;
+        int64_t mismatches = 0;
+        int64_t queue_wall_us = 0;   ///< enqueue -> execution start
+        int64_t service_wall_us = 0; ///< execution duration
+    };
+
+    /** One request in flight, owned by the daemon until run() returns. */
+    struct Pending
+    {
+        Request req;
+        ResponseSink sink;
+        size_t index = 0;       ///< intake order (seed stream index)
+        int64_t arrival_vus = 0;
+        int64_t enqueue_wall_us = 0;
+        std::string early_error; ///< parse/validation error; skips the DES
+        std::promise<void> done;
+        std::future<void> done_future;
+        ExecResult exec;        ///< written by the pool task before done
+        int64_t service_vus = 0;
+    };
+
+    /** Per-client accounting, folded into ClientRows at report time. */
+    struct ClientStats
+    {
+        uint64_t requests = 0;
+        uint64_t accepted = 0;
+        uint64_t rejected = 0;
+        uint64_t errors = 0;
+        uint64_t cache_hits = 0;
+        uint64_t cache_misses = 0;
+        int64_t cycles = 0;
+        int64_t macs = 0;
+        LatencyHistogram latency;
+        int64_t queue_vus = 0;
+        int64_t service_vus = 0;
+        int64_t queue_wall_us = 0;
+        int64_t service_wall_us = 0;
+    };
+
+    int64_t wallSinceStartUs() const;
+
+    /**
+     * Validate @p req and warm the plan cache with every planning point
+     * its execution will look up, attributing hits/misses to @p stats.
+     * Runs under mu_ (sequential in intake order => deterministic
+     * attribution). Returns a non-empty reason when the request can
+     * never run (unknown workload, bad override, infeasible mapping).
+     */
+    std::string preplanLocked(const Request &req, ClientStats *stats);
+
+    /** The speculative execution body (pool thread). */
+    void execute(Pending *p);
+
+    void respond(Pending *p, const std::string &line);
+
+    /** Event-loop helpers (run() thread). */
+    void finishOne(Pending *p, int64_t start_vus, int64_t finish_vus);
+    DaemonReport buildReport(const VirtualScheduler &vs) const;
+
+    DaemonOptions opts_;
+    serve::PlanCache cache_;
+    std::unique_ptr<serve::ThreadPool> pool_;
+    std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mu_;
+    std::condition_variable intake_cv_;
+    std::deque<std::unique_ptr<Pending>> intake_;
+    std::vector<std::unique_ptr<Pending>> processed_; ///< run()-owned
+    bool closed_ = false;
+    size_t next_index_ = 0;
+    /** Keys already planned at admission time: replicates the cache's
+     *  own hit/miss behavior without racing the pool's runtime lookups,
+     *  keeping per-client counters deterministic. */
+    std::unordered_set<std::string> planned_keys_;
+    std::map<std::string, ClientStats> clients_;
+    uint64_t failures_ = 0;
+    uint64_t total_requests_ = 0;
+};
+
+} // namespace daemon
+} // namespace feather

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * `feather_serve` — the long-running serving daemon (see
+ * daemon/serve_cli.hpp for modes and options).
+ */
+
+#include "daemon/serve_cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return feather::daemon::serveCliMain(argc, argv);
+}

@@ -1,0 +1,114 @@
+#include "daemon/report.hpp"
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace feather {
+namespace daemon {
+
+namespace {
+
+const std::vector<std::string> &
+columns()
+{
+    static const std::vector<std::string> cols = {
+        "client",       "requests",     "accepted",
+        "rejected",     "errors",       "cache_hits",
+        "cache_misses", "total_cycles", "p50_vus",
+        "p95_vus",      "p99_vus",      "mean_queue_vus",
+        "mean_service_vus", "queue_wall_us", "service_wall_us"};
+    return cols;
+}
+
+std::vector<std::string>
+row(const ClientRow &c)
+{
+    return {csvSafe(c.client),
+            std::to_string(c.requests),
+            std::to_string(c.accepted),
+            std::to_string(c.rejected),
+            std::to_string(c.errors),
+            std::to_string(c.cache_hits),
+            std::to_string(c.cache_misses),
+            std::to_string(c.total_cycles),
+            std::to_string(c.p50_vus),
+            std::to_string(c.p95_vus),
+            std::to_string(c.p99_vus),
+            fmtDouble(c.mean_queue_vus, 2),
+            fmtDouble(c.mean_service_vus, 2),
+            std::to_string(c.queue_wall_us),
+            std::to_string(c.service_wall_us)};
+}
+
+} // namespace
+
+std::string
+DaemonReport::toCsv() const
+{
+    Table t(columns());
+    for (const ClientRow &c : clients) t.addRow(row(c));
+    return t.toCsv();
+}
+
+std::string
+DaemonReport::toJson() const
+{
+    std::string out = "{\"clients\":[";
+    for (size_t i = 0; i < clients.size(); ++i) {
+        const ClientRow &c = clients[i];
+        if (i > 0) out += ",";
+        out += strCat(
+            "{\"client\":\"", jsonEscape(c.client),
+            "\",\"requests\":", c.requests, ",\"accepted\":", c.accepted,
+            ",\"rejected\":", c.rejected, ",\"errors\":", c.errors,
+            ",\"cache_hits\":", c.cache_hits,
+            ",\"cache_misses\":", c.cache_misses,
+            ",\"total_cycles\":", c.total_cycles,
+            ",\"p50_vus\":", c.p50_vus, ",\"p95_vus\":", c.p95_vus,
+            ",\"p99_vus\":", c.p99_vus,
+            ",\"mean_queue_vus\":", fmtDouble(c.mean_queue_vus, 2),
+            ",\"mean_service_vus\":", fmtDouble(c.mean_service_vus, 2),
+            ",\"queue_wall_us\":", c.queue_wall_us,
+            ",\"service_wall_us\":", c.service_wall_us, "}");
+    }
+    out += strCat(
+        "],\"summary\":{\"requests\":", requests,
+        ",\"accepted\":", accepted, ",\"rejected\":", rejected,
+        ",\"errors\":", errors, ",\"p50_vus\":", p50_vus,
+        ",\"p95_vus\":", p95_vus, ",\"p99_vus\":", p99_vus,
+        ",\"max_vus\":", max_vus, ",\"makespan_vus\":", makespan_vus,
+        ",\"virtual_rps\":", fmtDouble(virtual_rps, 2),
+        ",\"total_cycles\":", total_cycles, ",\"total_macs\":", total_macs,
+        ",\"plan_cache\":{\"hits\":", cache.hits,
+        ",\"misses\":", cache.misses, ",\"entries\":", cache.entries,
+        "},\"base_seed\":", base_seed, ",\"vworkers\":", vworkers,
+        ",\"clock_mhz\":", clock_mhz, ",\"engine\":\"", jsonEscape(engine),
+        "\",\"run_wall_us\":", run_wall_us, "}}");
+    return out;
+}
+
+std::string
+DaemonReport::summaryTable() const
+{
+    Table t({"client", "requests", "accepted", "rejected", "errors",
+             "p50_vus", "p95_vus", "p99_vus", "cache h/m"});
+    for (const ClientRow &c : clients) {
+        t.addRow({c.client, std::to_string(c.requests),
+                  std::to_string(c.accepted), std::to_string(c.rejected),
+                  std::to_string(c.errors), std::to_string(c.p50_vus),
+                  std::to_string(c.p95_vus), std::to_string(c.p99_vus),
+                  strCat(c.cache_hits, "/", c.cache_misses)});
+    }
+    std::string out = t.toString();
+    out += strCat(requests, " request(s): ", accepted, " accepted, ",
+                  rejected, " rejected, ", errors, " error(s); latency p50/"
+                  "p95/p99 ", p50_vus, "/", p95_vus, "/", p99_vus,
+                  " vus; makespan ", makespan_vus, " vus (",
+                  fmtDouble(virtual_rps, 2), " rps); plan cache: ",
+                  cache.hits, " hit(s), ", cache.misses, " miss(es), ",
+                  cache.entries, " entr(y/ies)\n");
+    return out;
+}
+
+} // namespace daemon
+} // namespace feather

@@ -1,0 +1,472 @@
+#include "daemon/serve_cli.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "common/io.hpp"
+#include "common/log.hpp"
+#include "common/parse.hpp"
+
+namespace feather {
+namespace daemon {
+
+namespace {
+
+/** Strip one trailing '\r' (TCP clients may send CRLF). */
+std::string
+chomp(std::string line)
+{
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+}
+
+// ---------------------------------------------------------------------------
+// TCP frontend
+// ---------------------------------------------------------------------------
+
+/** Loopback JSON-lines listener; one reader thread per connection. */
+class TcpFrontend
+{
+  public:
+    ~TcpFrontend() { stop(); }
+
+    bool
+    start(Daemon *daemon, int port, std::string *error)
+    {
+        daemon_ = daemon;
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) {
+            *error = "cannot create socket";
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(uint16_t(port));
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(listen_fd_, 16) != 0) {
+            *error = strCat("cannot listen on 127.0.0.1:", port);
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return false;
+        }
+        socklen_t len = sizeof(addr);
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len);
+        port_ = int(ntohs(addr.sin_port));
+        accept_thread_ = std::thread([this] { acceptLoop(); });
+        return true;
+    }
+
+    int port() const { return port_; }
+
+    /** Unblock and join every thread; idempotent. */
+    void
+    stop()
+    {
+        if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+        if (accept_thread_.joinable()) accept_thread_.join();
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+    }
+
+  private:
+    void
+    acceptLoop()
+    {
+        std::vector<std::thread> readers;
+        std::vector<int> fds;
+        for (;;) {
+            const int fd = ::accept(listen_fd_, nullptr, nullptr);
+            if (fd < 0) break; // stop() shut the listener down
+            fds.push_back(fd);
+            readers.emplace_back([this, fd] { connectionLoop(fd); });
+        }
+        // The daemon has drained by the time stop() runs (responses are
+        // all sent); unblock any reader still waiting on its peer.
+        for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+        for (std::thread &t : readers) t.join();
+        for (int fd : fds) ::close(fd);
+    }
+
+    void
+    connectionLoop(int fd)
+    {
+        const ResponseSink sink = [fd](const std::string &line) {
+            const std::string msg = line + "\n";
+            // A gone-away client must not kill the daemon: ignore errors
+            // (and suppress SIGPIPE).
+            (void)::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
+        };
+        std::string buf;
+        char chunk[4096];
+        for (;;) {
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) break;
+            buf.append(chunk, size_t(n));
+            size_t eol;
+            while ((eol = buf.find('\n')) != std::string::npos) {
+                const std::string line = chomp(buf.substr(0, eol));
+                buf.erase(0, eol + 1);
+                if (line.empty()) continue;
+                if (line == "shutdown") {
+                    daemon_->closeIntake();
+                    continue;
+                }
+                daemon_->enqueueLine(line, sink);
+            }
+        }
+        if (!chomp(buf).empty() && chomp(buf) != "shutdown") {
+            daemon_->enqueueLine(chomp(buf), sink);
+        }
+    }
+
+    Daemon *daemon_ = nullptr;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::thread accept_thread_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Command line
+// ---------------------------------------------------------------------------
+
+std::string
+serveUsage()
+{
+    return "usage: feather_serve MODE [OPTIONS]\n"
+           "\n"
+           "modes (exactly one):\n"
+           "  --stdin               JSON-lines requests on stdin until EOF\n"
+           "                        (or a bare `shutdown` line)\n"
+           "  --listen PORT         TCP frontend on 127.0.0.1:PORT (0 =\n"
+           "                        ephemeral, announced on stderr)\n"
+           "  --replay FILE         replay a JSON-lines trace with pinned\n"
+           "                        arrival_us values (deterministic)\n"
+           "  --qps N --requests M  deterministic open-loop load generator\n"
+           "    [--trace FILE]      also write the generated trace\n"
+           "\n"
+           "options:\n"
+           "  --jobs N              wall-clock worker pool size, 1..256\n"
+           "                        (default 1; never changes results)\n"
+           "  --seed N              base seed for per-request input\n"
+           "                        streams (default 2024)\n"
+           "  --engine MODE         default tier: cycle | analytic\n"
+           "  --vworkers N          virtual servers (default 1)\n"
+           "  --max-queue N         admission: max waiting requests\n"
+           "                        (default 64)\n"
+           "  --quota P=N           admission: max waiting requests of\n"
+           "                        priority P (0..2); repeatable\n"
+           "  --clock-mhz N         virtual clock, service_vus =\n"
+           "                        ceil(cycles/mhz) (default 1000)\n"
+           "  --report-csv FILE     write the per-client report as CSV\n"
+           "  --report-json FILE    write the full report as JSON\n"
+           "  --quiet               suppress per-request response lines\n"
+           "  --help                this text\n"
+           "\n"
+           "request lines are flat JSON objects, e.g.\n"
+           "  {\"client\":\"c0\",\"scenario\":\"gemm\",\"priority\":0}\n"
+           "  {\"client\":\"c1\",\"model\":\"bert_mlp\",\"schedule\":"
+           "\"per-layer\"}\n";
+}
+
+bool
+parseServeCli(const std::vector<std::string> &args, ServeCliConfig *out,
+              std::string *error)
+{
+    *out = ServeCliConfig();
+    bool has_mode = false;
+    bool has_qps = false;
+    bool has_requests = false;
+
+    const auto setMode = [&](ServeCliConfig::Mode mode) {
+        if (has_mode && out->mode != mode) {
+            *error = "pick exactly one mode: --stdin, --listen, --replay, "
+                     "or --qps/--requests";
+            return false;
+        }
+        out->mode = mode;
+        has_mode = true;
+        return true;
+    };
+
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&](std::string *v) {
+            if (i + 1 >= args.size()) {
+                *error = arg + " needs a value";
+                return false;
+            }
+            *v = args[++i];
+            return true;
+        };
+        // Satellite contract: numeric flags reject non-numeric and <= 0
+        // with a one-line error naming the flag.
+        const auto positive = [&](uint64_t *v, uint64_t max,
+                                  const char *what) {
+            std::string text;
+            if (!value(&text)) return false;
+            if (!parsePositive(text, v, max)) {
+                *error = strCat("invalid value for ", arg, ": '", text,
+                                "' (expected ", what, ")");
+                return false;
+            }
+            return true;
+        };
+
+        uint64_t n = 0;
+        if (arg == "--stdin") {
+            if (!setMode(ServeCliConfig::Mode::Stdin)) return false;
+        } else if (arg == "--listen") {
+            if (!setMode(ServeCliConfig::Mode::Listen)) return false;
+            std::string text;
+            if (!value(&text)) return false;
+            uint64_t port = 0;
+            if (!parseUint(text, &port) || port > 65535) {
+                *error = strCat("invalid value for --listen: '", text,
+                                "' (expected a port in 0..65535)");
+                return false;
+            }
+            out->port = int(port);
+        } else if (arg == "--replay") {
+            if (!setMode(ServeCliConfig::Mode::Replay)) return false;
+            if (!value(&out->replay_path)) return false;
+        } else if (arg == "--qps") {
+            if (!setMode(ServeCliConfig::Mode::LoadGen)) return false;
+            if (!positive(&out->load.qps, 1000000,
+                          "a positive integer <= 1000000")) {
+                return false;
+            }
+            has_qps = true;
+        } else if (arg == "--requests") {
+            if (!setMode(ServeCliConfig::Mode::LoadGen)) return false;
+            if (!positive(&out->load.requests, 1000000,
+                          "a positive integer <= 1000000")) {
+                return false;
+            }
+            has_requests = true;
+        } else if (arg == "--trace") {
+            if (!value(&out->trace_path)) return false;
+        } else if (arg == "--jobs") {
+            if (!positive(&n, 256, "a positive integer <= 256")) {
+                return false;
+            }
+            out->daemon.num_threads = int(n);
+        } else if (arg == "--seed") {
+            if (!positive(&out->daemon.base_seed, UINT64_MAX,
+                          "a positive integer")) {
+                return false;
+            }
+        } else if (arg == "--engine") {
+            std::string text;
+            if (!value(&text)) return false;
+            const std::optional<sim::EngineMode> mode =
+                sim::parseEngineMode(text);
+            if (!mode) {
+                *error = strCat("invalid value for --engine: '", text,
+                                "' (expected cycle or analytic)");
+                return false;
+            }
+            out->daemon.engine = *mode;
+        } else if (arg == "--vworkers") {
+            if (!positive(&n, 4096, "a positive integer <= 4096")) {
+                return false;
+            }
+            out->daemon.virt.vworkers = int(n);
+        } else if (arg == "--max-queue") {
+            std::string text;
+            if (!value(&text)) return false;
+            if (!parseUint(text, &n) || n > 1000000) {
+                *error = strCat("invalid value for --max-queue: '", text,
+                                "' (expected an integer in 0..1000000)");
+                return false;
+            }
+            out->daemon.virt.max_queue = int(n);
+        } else if (arg == "--quota") {
+            std::string text;
+            if (!value(&text)) return false;
+            const size_t eq = text.find('=');
+            uint64_t prio = 0;
+            uint64_t quota = 0;
+            if (eq == std::string::npos ||
+                !parseUint(text.substr(0, eq), &prio) || prio > 2 ||
+                !parseUint(text.substr(eq + 1), &quota) ||
+                quota > 1000000) {
+                *error = strCat("invalid value for --quota: '", text,
+                                "' (expected P=N with priority P in 0..2 "
+                                "and N in 0..1000000)");
+                return false;
+            }
+            out->daemon.virt.quota[prio] = int64_t(quota);
+        } else if (arg == "--clock-mhz") {
+            if (!positive(&out->daemon.clock_mhz, 1000000,
+                          "a positive integer <= 1000000")) {
+                return false;
+            }
+        } else if (arg == "--report-csv") {
+            if (!value(&out->report_csv)) return false;
+        } else if (arg == "--report-json") {
+            if (!value(&out->report_json)) return false;
+        } else if (arg == "--quiet") {
+            out->quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            out->help = true;
+        } else {
+            *error = strCat("unknown flag '", arg,
+                            "' (see feather_serve --help)");
+            return false;
+        }
+    }
+    if (out->help) return true;
+    if (!has_mode) {
+        *error = "pick a mode: --stdin, --listen PORT, --replay FILE, or "
+                 "--qps N --requests M";
+        return false;
+    }
+    if (out->mode == ServeCliConfig::Mode::LoadGen &&
+        (!has_qps || !has_requests)) {
+        *error = "the load generator needs both --qps N and --requests M";
+        return false;
+    }
+    if (!out->trace_path.empty() &&
+        out->mode != ServeCliConfig::Mode::LoadGen) {
+        *error = "--trace only applies to load-generator mode "
+                 "(--qps/--requests)";
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+int
+serveMain(const ServeCliConfig &config)
+{
+    if (config.help) {
+        std::printf("%s", serveUsage().c_str());
+        return 0;
+    }
+
+    Daemon daemon(config.daemon);
+    const ResponseSink stdout_sink =
+        config.quiet ? ResponseSink()
+                     : ResponseSink([](const std::string &line) {
+                           std::fprintf(stdout, "%s\n", line.c_str());
+                       });
+
+    DaemonReport report;
+    switch (config.mode) {
+    case ServeCliConfig::Mode::Replay: {
+        std::ifstream in(config.replay_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "feather_serve: cannot read trace '%s'\n",
+                         config.replay_path.c_str());
+            return 2;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            line = chomp(line);
+            if (line.empty() || line[0] == '#') continue;
+            daemon.enqueueLine(line, stdout_sink);
+        }
+        daemon.closeIntake();
+        report = daemon.run();
+        break;
+    }
+    case ServeCliConfig::Mode::LoadGen: {
+        LoadGenConfig load = config.load;
+        load.seed = config.daemon.base_seed;
+        const std::vector<Request> requests = generateLoad(load);
+        if (!config.trace_path.empty() &&
+            !writeFile(config.trace_path, toTraceText(requests))) {
+            std::fprintf(stderr, "feather_serve: cannot write trace '%s'\n",
+                         config.trace_path.c_str());
+            return 2;
+        }
+        for (const Request &req : requests) {
+            daemon.enqueue(req, stdout_sink);
+        }
+        daemon.closeIntake();
+        report = daemon.run();
+        break;
+    }
+    case ServeCliConfig::Mode::Stdin: {
+        std::thread reader([&daemon, &stdout_sink] {
+            std::string line;
+            while (std::getline(std::cin, line)) {
+                line = chomp(line);
+                if (line.empty()) continue;
+                if (line == "shutdown") break;
+                daemon.enqueueLine(line, stdout_sink);
+            }
+            daemon.closeIntake();
+        });
+        report = daemon.run();
+        reader.join();
+        break;
+    }
+    case ServeCliConfig::Mode::Listen: {
+        TcpFrontend frontend;
+        std::string err;
+        if (!frontend.start(&daemon, config.port, &err)) {
+            std::fprintf(stderr, "feather_serve: %s\n", err.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "feather_serve: listening on 127.0.0.1:%d\n",
+                     frontend.port());
+        report = daemon.run();
+        frontend.stop();
+        break;
+    }
+    }
+    std::fflush(stdout);
+
+    std::fprintf(stderr, "%s", report.summaryTable().c_str());
+    if (!config.report_csv.empty() &&
+        !writeFile(config.report_csv, report.toCsv())) {
+        std::fprintf(stderr, "feather_serve: cannot write '%s'\n",
+                     config.report_csv.c_str());
+        return 1;
+    }
+    if (!config.report_json.empty() &&
+        !writeFile(config.report_json, report.toJson() + "\n")) {
+        std::fprintf(stderr, "feather_serve: cannot write '%s'\n",
+                     config.report_json.c_str());
+        return 1;
+    }
+    return daemon.failures() > 0 ? 1 : 0;
+}
+
+int
+serveCliMain(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    ServeCliConfig config;
+    std::string error;
+    if (!parseServeCli(args, &config, &error)) {
+        std::fprintf(stderr, "feather_serve: %s\n", error.c_str());
+        return 2;
+    }
+    return serveMain(config);
+}
+
+} // namespace daemon
+} // namespace feather

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Command line and frontends of the `feather_serve` binary.
+ *
+ * Modes (exactly one):
+ *   --stdin                 JSON-lines requests on stdin until EOF (or a
+ *                           bare `shutdown` line); responses on stdout
+ *   --listen PORT           TCP frontend on 127.0.0.1:PORT (0 = pick an
+ *                           ephemeral port, announced on stderr); each
+ *                           connection speaks the same JSON-lines
+ *                           protocol, responses go back per-connection
+ *   --replay FILE           feed a JSON-lines trace with pinned arrivals
+ *   --qps N --requests M    deterministic open-loop load generator;
+ *                           add --trace FILE to also write the stream
+ *
+ * Shared knobs: --jobs N (wall pool, 1..256), --seed N, --engine
+ * cycle|analytic, --vworkers N, --max-queue N, --quota P=N (priority P in
+ * 0..2), --clock-mhz N, --report-csv FILE, --report-json FILE, --quiet
+ * (suppress response lines), --help.
+ *
+ * Flag validation is strict and names the offending flag in one line:
+ * numeric flags reject non-numeric and non-positive values (exit 2).
+ * Exit status: 0 = clean run, 1 = some request failed (ERROR/MISMATCH),
+ * 2 = usage error.
+ */
+
+#include <string>
+#include <vector>
+
+#include "daemon/daemon.hpp"
+#include "daemon/load_gen.hpp"
+
+namespace feather {
+namespace daemon {
+
+/** Parsed feather_serve command line. */
+struct ServeCliConfig
+{
+    enum class Mode
+    {
+        Stdin,
+        Listen,
+        Replay,
+        LoadGen,
+    };
+
+    Mode mode = Mode::Stdin;
+    DaemonOptions daemon;
+    LoadGenConfig load;
+    int port = 0;            ///< --listen
+    std::string replay_path; ///< --replay
+    std::string trace_path;  ///< --trace (loadgen mode)
+    std::string report_csv;
+    std::string report_json;
+    bool quiet = false;
+    bool help = false;
+};
+
+/** The usage text (also printed on --help). */
+std::string serveUsage();
+
+/** Parse @p args (no argv[0]); false with a one-line @p error naming the
+ *  offending flag on any invalid input. */
+bool parseServeCli(const std::vector<std::string> &args, ServeCliConfig *out,
+                   std::string *error);
+
+/** Run feather_serve under @p config; returns the process exit code. */
+int serveMain(const ServeCliConfig &config);
+
+/** Full entry point: parse + run (argv[0] ignored). */
+int serveCliMain(int argc, char **argv);
+
+} // namespace daemon
+} // namespace feather

@@ -1,0 +1,95 @@
+#include "daemon/vclock.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace feather {
+namespace daemon {
+
+VirtualScheduler::VirtualScheduler(VirtualConfig cfg, DurationFn duration,
+                                   CompletionFn on_finish)
+    : cfg_(cfg), duration_(std::move(duration)),
+      on_finish_(std::move(on_finish))
+{
+    if (cfg_.vworkers < 1) cfg_.vworkers = 1;
+}
+
+void
+VirtualScheduler::start(size_t index, int64_t start_vus)
+{
+    const int64_t dur = std::max<int64_t>(1, duration_(index));
+    running_.push({start_vus + dur, index, start_vus});
+}
+
+void
+VirtualScheduler::completeOne()
+{
+    const Running done = running_.top();
+    running_.pop();
+    last_finish_ = std::max(last_finish_, done.finish);
+    on_finish_(done.index, done.start, done.finish);
+    // Hand the freed server to the highest-priority waiter (FIFO within a
+    // priority). Starting it at done.finish is time-correct: see the
+    // laziness invariant in the header.
+    for (auto &fifo : waiting_) {
+        if (fifo.empty()) continue;
+        const size_t next = fifo.front();
+        fifo.pop_front();
+        --waiting_total_;
+        start(next, done.finish);
+        break;
+    }
+}
+
+void
+VirtualScheduler::advanceTo(int64_t t)
+{
+    while (!running_.empty() && running_.top().finish <= t) completeOne();
+}
+
+bool
+VirtualScheduler::arrive(size_t index, int64_t arrival_vus, int priority,
+                         std::string *reject_reason)
+{
+    FEATHER_CHECK(arrival_vus >= last_arrival_,
+                  "arrivals must be fed in non-decreasing time order");
+    FEATHER_CHECK(priority >= 0 && priority < VirtualConfig::kPriorities,
+                  "priority out of range");
+    last_arrival_ = arrival_vus;
+    advanceTo(arrival_vus);
+
+    if (int(running_.size()) < cfg_.vworkers) {
+        // waiting_ is necessarily empty here: a server only stays free
+        // while nothing waits for it.
+        start(index, arrival_vus);
+        return true;
+    }
+    if (cfg_.max_queue >= 0 && int(waiting_total_) >= cfg_.max_queue) {
+        *reject_reason = strCat("queue full (", waiting_total_,
+                                " waiting, max-queue ", cfg_.max_queue, ")");
+        return false;
+    }
+    const int64_t quota = cfg_.quota[size_t(priority)];
+    if (quota >= 0 && int64_t(waiting_[size_t(priority)].size()) >= quota) {
+        *reject_reason = strCat("priority-", priority, " quota reached (",
+                                waiting_[size_t(priority)].size(),
+                                " waiting, quota ", quota, ")");
+        return false;
+    }
+    waiting_[size_t(priority)].push_back(index);
+    ++waiting_total_;
+    return true;
+}
+
+void
+VirtualScheduler::drain()
+{
+    while (!running_.empty()) completeOne();
+    FEATHER_CHECK(waiting_total_ == 0,
+                  "waiters cannot outlive the running set");
+}
+
+} // namespace daemon
+} // namespace feather

@@ -1,0 +1,121 @@
+#pragma once
+
+/**
+ * @file
+ * Virtual-time admission and service scheduler for the serving daemon.
+ *
+ * The daemon separates *what the serving system would do* from *how fast
+ * this host computes it*. All externally-visible serving behavior —
+ * admission decisions, queueing, per-request latencies, percentiles — is
+ * decided here, in virtual microseconds, by a discrete-event simulation of
+ * a fixed pool of `vworkers` servers. Actual simulation work runs
+ * speculatively on the wall-clock thread pool; the DES only consumes each
+ * request's (deterministic) service duration. The result: reports are
+ * bit-identical at any `--jobs N`, while execution still fans out.
+ *
+ * Event processing is *lazy*: arrivals are fed in non-decreasing virtual
+ * time order, and a completion is only materialized when a later arrival
+ * (or the final drain) advances time past it. Starting a waiting request
+ * on a freed worker at the worker's finish time f is time-correct because
+ * of an invariant of this laziness: every request still waiting arrived
+ * before f (had it arrived after, its own arrival processing would have
+ * materialized the f-completion first).
+ *
+ * The DurationFn may block (it waits on the speculative execution's
+ * result); it is called exactly once per started request, on the single
+ * DES thread.
+ */
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace feather {
+namespace daemon {
+
+/** Admission/service knobs of the virtual serving system. */
+struct VirtualConfig
+{
+    static constexpr int kPriorities = 3;
+
+    /** Virtual servers: requests in service concurrently (not --jobs). */
+    int vworkers = 1;
+    /** Max requests waiting (not in service); < 0 = unbounded. */
+    int max_queue = 64;
+    /** Per-priority bound on waiting requests; -1 = unbounded. */
+    std::array<int64_t, kPriorities> quota = {-1, -1, -1};
+};
+
+/** Deterministic DES over arrivals, admission, queueing and service. */
+class VirtualScheduler
+{
+  public:
+    /** Virtual service duration of request @p index, in microseconds;
+     *  called once per started request, may block. */
+    using DurationFn = std::function<int64_t(size_t index)>;
+
+    /** Completion callback: request @p index started at @p start_vus and
+     *  finished at @p finish_vus. Called in deterministic event order. */
+    using CompletionFn = std::function<void(size_t index, int64_t start_vus,
+                                            int64_t finish_vus)>;
+
+    VirtualScheduler(VirtualConfig cfg, DurationFn duration,
+                     CompletionFn on_finish);
+
+    /**
+     * Process the arrival of request @p index at @p arrival_vus (must be
+     * >= every earlier arrival). Materializes any completions up to that
+     * time first, then decides admission: true = accepted (in service or
+     * waiting), false = rejected with @p reject_reason set. A request is
+     * only queued — and thus only subject to the depth/quota bounds —
+     * when every virtual server is busy.
+     */
+    bool arrive(size_t index, int64_t arrival_vus, int priority,
+                std::string *reject_reason);
+
+    /** Run every accepted request to completion. */
+    void drain();
+
+    /** Finish time of the latest completed request. */
+    int64_t lastFinish() const { return last_finish_; }
+
+  private:
+    struct Running
+    {
+        int64_t finish = 0;
+        size_t index = 0;
+        int64_t start = 0;
+
+        /** Min-heap order: earliest finish first, ties by index. */
+        bool
+        operator>(const Running &o) const
+        {
+            return finish != o.finish ? finish > o.finish : index > o.index;
+        }
+    };
+
+    /** Materialize every completion with finish <= @p t. */
+    void advanceTo(int64_t t);
+
+    /** Pop the earliest completion; hand its server to a waiter. */
+    void completeOne();
+
+    void start(size_t index, int64_t start_vus);
+
+    VirtualConfig cfg_;
+    DurationFn duration_;
+    CompletionFn on_finish_;
+    std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+        running_;
+    std::array<std::deque<size_t>, VirtualConfig::kPriorities> waiting_;
+    size_t waiting_total_ = 0;
+    int64_t last_arrival_ = 0;
+    int64_t last_finish_ = 0;
+};
+
+} // namespace daemon
+} // namespace feather

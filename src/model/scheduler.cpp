@@ -184,7 +184,7 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
         std::string plan_error;
         for (sim::DataflowKind kind : kFamilies) {
             const std::optional<sim::LayerPlan> plan =
-                cache_.getOrPlan(opts_.engine, kind, ml.spec, aw, ah,
+                cache().getOrPlan(opts_.engine, kind, ml.spec, aw, ah,
                                  &plan_error);
             if (!plan) continue;
             bool merged = false;
@@ -318,7 +318,7 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
             }
             if (!found) {
                 std::string why;
-                (void)cache_.getOrPlan(opts_.engine, policy.fixed,
+                (void)cache().getOrPlan(opts_.engine, policy.fixed,
                                        graph.layers[i].spec, aw, ah, &why);
                 if (error) {
                     *error = strCat(toString(policy), " cannot schedule ",
@@ -429,7 +429,7 @@ Scheduler::measure(const ModelGraph &graph, ScheduleResult *result,
     sopts.engine = sim::EngineMode::Cycle;
     const auto start = std::chrono::steady_clock::now();
     const std::optional<sim::ScenarioRun> run =
-        sim::runScenario(scenario, sopts, error, cache_.planFn());
+        sim::runScenario(scenario, sopts, error, cache().planFn());
     if (!run) return false;
     result->sim_wall_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
@@ -579,7 +579,7 @@ Scheduler::compare(const ModelGraph &graph, const SchedulePolicy &primary,
         // Copy, not move: a later slot may still graft from this one.
         cmp.schedules.push_back(slot.result);
     }
-    cmp.cache = cache_.stats();
+    cmp.cache = cache().stats();
     return cmp;
 }
 

@@ -191,6 +191,11 @@ struct SchedulerOptions
      *  Analytic prunes the candidate table without per-element replay;
      *  the final measured chain (step 5) always runs cycle-accurate. */
     sim::EngineMode engine = sim::EngineMode::Cycle;
+    /** Plan through this cache instead of the scheduler's own — the
+     *  serving daemon injects its warm, shared cache here so model
+     *  requests reuse (and contribute) plans across the whole run. The
+     *  cache must outlive the Scheduler; nullptr keeps the private one. */
+    serve::PlanCache *shared_cache = nullptr;
 };
 
 /** Per-layer dataflow/layout scheduler over ModelGraphs. */
@@ -218,7 +223,13 @@ class Scheduler
     compare(const ModelGraph &graph, const SchedulePolicy &primary,
             std::string *error = nullptr);
 
-    serve::PlanCache &cache() { return cache_; }
+    /** The cache in use: opts.shared_cache when set, else the private
+     *  per-scheduler one. */
+    serve::PlanCache &
+    cache()
+    {
+        return opts_.shared_cache ? *opts_.shared_cache : cache_;
+    }
     const SchedulerOptions &options() const { return opts_; }
 
   private:

@@ -67,6 +67,10 @@ usage()
         "                    schedule is always measured cycle-accurately\n"
         "  --report-csv/--report-json also export the schedule report\n"
         "\n"
+        "long-running serving (continuous batching, admission control,\n"
+        "latency percentiles) lives in the separate feather_serve binary\n"
+        "(see src/daemon; feather_serve --help).\n"
+        "\n"
         "scenarios:\n";
     for (const Scenario &s : scenarios()) {
         text += "  " + s.name;

@@ -9,69 +9,35 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <fstream>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "common/report_norm.hpp"
 
 namespace feather {
 namespace golden {
 
 /**
- * Zero the sim_wall_us column of a CSV report: wall time is the one field
- * that legitimately differs between otherwise-identical runs, so
- * determinism comparisons normalize it first.
+ * Zero every wall-clock column (name suffix `_wall_us`) of a CSV report:
+ * wall time is the one field class that legitimately differs between
+ * otherwise-identical runs, so determinism comparisons normalize it
+ * first. Delegates to common/report_norm — the same code path the CI
+ * workflows use via the feather_report_norm binary, so the tests and CI
+ * can never disagree about what "normalized" means.
  */
 inline std::string
 zeroWallCsv(const std::string &csv)
 {
-    std::istringstream in(csv);
-    std::string line, out;
-    size_t wall_col = std::string::npos;
-    bool header = true;
-    while (std::getline(in, line)) {
-        std::vector<std::string> cells;
-        std::istringstream cells_in(line);
-        std::string cell;
-        while (std::getline(cells_in, cell, ',')) {
-            cells.push_back(cell);
-        }
-        if (header) {
-            for (size_t i = 0; i < cells.size(); ++i) {
-                if (cells[i] == "sim_wall_us") wall_col = i;
-            }
-            header = false;
-        } else if (wall_col < cells.size()) {
-            cells[wall_col] = "0";
-        }
-        for (size_t i = 0; i < cells.size(); ++i) {
-            if (i > 0) out += ',';
-            out += cells[i];
-        }
-        out += '\n';
-    }
-    return out;
+    return feather::zeroWallCsv(csv);
 }
 
 /** Same normalization for the JSON rendering. */
 inline std::string
 zeroWallJson(std::string json)
 {
-    const std::string key = "\"sim_wall_us\":";
-    size_t pos = 0;
-    while ((pos = json.find(key, pos)) != std::string::npos) {
-        pos += key.size();
-        size_t end = pos;
-        while (end < json.size() &&
-               std::isdigit(static_cast<unsigned char>(json[end]))) {
-            ++end;
-        }
-        json.replace(pos, end - pos, "0");
-        ++pos;
-    }
-    return json;
+    return feather::zeroWallJson(std::move(json));
 }
 
 /** Non-empty lines of tests/golden/<name>, in file order. */

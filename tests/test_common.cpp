@@ -1,13 +1,21 @@
 /**
  * @file
  * Unit tests for src/common: bit utilities, RNG determinism, statistics,
- * and table formatting.
+ * table formatting, the latency histogram, flat-JSON parsing, numeric
+ * flag parsing, and the shared wall-clock report normalizer.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "common/bits.hpp"
+#include "common/histogram.hpp"
+#include "common/json_min.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
+#include "common/report_norm.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -193,6 +201,275 @@ TEST(Log, StrCat)
 {
     EXPECT_EQ(strCat("a", 1, "b", 2.5), "a1b2.5");
     EXPECT_EQ(strCat(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Numeric flag parsing
+// ---------------------------------------------------------------------------
+
+TEST(Parse, ParsePositiveRejectsZeroJunkAndOverflow)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parsePositive("1", &v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(parsePositive("256", &v, 256));
+    EXPECT_EQ(v, 256u);
+
+    EXPECT_FALSE(parsePositive("0", &v));
+    EXPECT_FALSE(parsePositive("", &v));
+    EXPECT_FALSE(parsePositive("-3", &v));
+    EXPECT_FALSE(parsePositive("4x", &v));
+    EXPECT_FALSE(parsePositive("abc", &v));
+    EXPECT_FALSE(parsePositive("257", &v, 256)) << "above the cap";
+    // Failure must not clobber the previous value.
+    v = 77;
+    EXPECT_FALSE(parsePositive("zero", &v));
+    EXPECT_EQ(v, 77u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EmptyAndSingleSample)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+
+    h.record(42);
+    EXPECT_EQ(h.count(), 1u);
+    for (double p : {0.0, 50.0, 99.0, 100.0}) {
+        EXPECT_EQ(h.percentile(p), 42) << "p" << p;
+    }
+}
+
+TEST(Histogram, SmallValuesHaveExactQuantiles)
+{
+    // Values below 64 occupy singleton buckets, so every percentile of a
+    // small-valued distribution is exact, not approximate.
+    LatencyHistogram h;
+    for (int64_t v = 1; v <= 20; ++v) h.record(v);
+    EXPECT_EQ(h.percentile(50), 10);  // rank ceil(0.50*20) = 10
+    EXPECT_EQ(h.percentile(95), 19);  // rank 19
+    EXPECT_EQ(h.percentile(99), 20);  // rank 20
+    EXPECT_EQ(h.percentile(100), 20);
+    EXPECT_EQ(h.percentile(0), 1);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 20);
+    EXPECT_EQ(h.total(), 210);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.5);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero)
+{
+    LatencyHistogram h;
+    h.record(-5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, BucketBoundsRoundTrip)
+{
+    // bucketLowerBound(bucketIndex(v)) <= v, and the lower bound maps to
+    // its own bucket — across the exact range, bucket edges, and large
+    // values.
+    const int64_t probes[] = {0,   1,    63,   64,        65,
+                              127, 128,  4095, 4096,      100000,
+                              int64_t(1) << 40, (int64_t(1) << 40) + 12345};
+    for (int64_t v : probes) {
+        const size_t b = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(b, LatencyHistogram::kNumBuckets) << v;
+        const int64_t lo = LatencyHistogram::bucketLowerBound(b);
+        EXPECT_LE(lo, v) << v;
+        EXPECT_EQ(LatencyHistogram::bucketIndex(lo), b) << v;
+        if (v < 64) {
+            EXPECT_EQ(lo, v) << "small values are exact";
+        }
+    }
+}
+
+TEST(Histogram, RelativeErrorBoundedByBucketWidth)
+{
+    LatencyHistogram h;
+    h.record(1000000);
+    const int64_t p = h.percentile(50);
+    EXPECT_LE(p, 1000000);
+    // 1/64 relative bucket width.
+    EXPECT_GE(p, 1000000 - 1000000 / 64);
+}
+
+TEST(Histogram, InsertionOrderDoesNotChangePercentiles)
+{
+    std::vector<int64_t> values;
+    Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        values.push_back(int64_t(rng.below(100000)));
+    }
+    LatencyHistogram forward, shuffled;
+    for (int64_t v : values) forward.record(v);
+    std::shuffle(values.begin(), values.end(), std::mt19937(99));
+    for (int64_t v : values) shuffled.record(v);
+    for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+        EXPECT_EQ(forward.percentile(p), shuffled.percentile(p)) << p;
+    }
+    EXPECT_EQ(forward.total(), shuffled.total());
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative)
+{
+    // Three disjoint shards; every merge order must agree bit-exactly with
+    // recording everything into one histogram.
+    LatencyHistogram a, b, c, all;
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        const int64_t v = int64_t(rng.below(1 << 20));
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+        all.record(v);
+    }
+    LatencyHistogram ab_c = a;   // (a+b)+c
+    ab_c.merge(b);
+    ab_c.merge(c);
+    LatencyHistogram c_ba = c;   // (c+b)+a
+    c_ba.merge(b);
+    c_ba.merge(a);
+    for (LatencyHistogram *m : {&ab_c, &c_ba}) {
+        EXPECT_EQ(m->count(), all.count());
+        EXPECT_EQ(m->min(), all.min());
+        EXPECT_EQ(m->max(), all.max());
+        EXPECT_EQ(m->total(), all.total());
+        for (double p : {50.0, 95.0, 99.0}) {
+            EXPECT_EQ(m->percentile(p), all.percentile(p)) << p;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON parsing (daemon wire format)
+// ---------------------------------------------------------------------------
+
+TEST(JsonMin, ParsesScalarsOfEveryKind)
+{
+    JsonObject obj;
+    std::string error;
+    ASSERT_TRUE(JsonObject::parse(
+        "{\"s\":\"text\",\"n\":42,\"neg\":-7,\"b\":true,\"z\":null}", &obj,
+        &error))
+        << error;
+    ASSERT_EQ(obj.entries().size(), 5u);
+    EXPECT_EQ(obj.entries()[0].first, "s") << "input order preserved";
+    const JsonScalar *s = obj.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, JsonScalar::Kind::String);
+    EXPECT_EQ(s->text, "text");
+    uint64_t u = 0;
+    ASSERT_TRUE(obj.find("n")->asUint(&u));
+    EXPECT_EQ(u, 42u);
+    int64_t i = 0;
+    ASSERT_TRUE(obj.find("neg")->asInt(&i));
+    EXPECT_EQ(i, -7);
+    EXPECT_FALSE(obj.find("neg")->asUint(&u)) << "negative is not a uint";
+    EXPECT_TRUE(obj.find("b")->boolean);
+    EXPECT_EQ(obj.find("z")->kind, JsonScalar::Kind::Null);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonMin, UnescapesStrings)
+{
+    JsonObject obj;
+    std::string error;
+    ASSERT_TRUE(JsonObject::parse(
+        "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}", &obj, &error))
+        << error;
+    EXPECT_EQ(obj.find("k")->text, "a\"b\\c\nd\te");
+}
+
+TEST(JsonMin, RejectsMalformedInput)
+{
+    JsonObject obj;
+    std::string error;
+    const char *bad[] = {
+        "",                            // empty
+        "not json",                    // no object
+        "[1,2]",                       // array at top level
+        "{\"a\":1",                    // unterminated
+        "{\"a\":{\"b\":1}}",           // nested object
+        "{\"a\":[1]}",                 // nested array
+        "{\"a\":1}trailing",           // trailing garbage
+        "{\"a\":1,\"a\":2}",           // duplicate key
+        "{\"a\":}",                    // missing value
+        "{\"a\" 1}",                   // missing colon
+        "{\"a\":\"\\x\"}",             // bad escape
+        "{a:1}",                       // unquoted key
+    };
+    for (const char *text : bad) {
+        error.clear();
+        EXPECT_FALSE(JsonObject::parse(text, &obj, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonMin, WhitespaceTolerantAndEmptyObjectOk)
+{
+    JsonObject obj;
+    std::string error;
+    ASSERT_TRUE(JsonObject::parse("  { \"a\" : 1 , \"b\" : \"x\" }  ", &obj,
+                                  &error))
+        << error;
+    EXPECT_EQ(obj.entries().size(), 2u);
+    ASSERT_TRUE(JsonObject::parse("{}", &obj, &error)) << error;
+    EXPECT_TRUE(obj.entries().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shared wall-clock report normalizer
+// ---------------------------------------------------------------------------
+
+TEST(ReportNorm, WallFieldNamingConvention)
+{
+    EXPECT_TRUE(isWallReportField("sim_wall_us"));
+    EXPECT_TRUE(isWallReportField("run_wall_us"));
+    EXPECT_TRUE(isWallReportField("queue_wall_us"));
+    EXPECT_FALSE(isWallReportField("wall_us_total"));
+    EXPECT_FALSE(isWallReportField("cycles"));
+    EXPECT_FALSE(isWallReportField(""));
+    EXPECT_FALSE(isWallReportField("_wall_u"));
+}
+
+TEST(ReportNorm, CsvZeroesEveryWallColumn)
+{
+    const std::string csv = "job,sim_wall_us,cycles,queue_wall_us\n"
+                            "a,123,10,456\n"
+                            "b,789,20,12\n";
+    EXPECT_EQ(zeroWallCsv(csv), "job,sim_wall_us,cycles,queue_wall_us\n"
+                                "a,0,10,0\n"
+                                "b,0,20,0\n");
+    // No wall columns: byte-identical passthrough.
+    const std::string plain = "a,b\n1,2\n";
+    EXPECT_EQ(zeroWallCsv(plain), plain);
+}
+
+TEST(ReportNorm, JsonZeroesWallValuesButNotLookalikes)
+{
+    const std::string json =
+        "{\"cycles\":5,\"sim_wall_us\":9999,\"note\":\"sim_wall_us: 3\","
+        "\"run_wall_us\":-12,\"inner_wall_us\":7}";
+    EXPECT_EQ(zeroWallJson(json),
+              "{\"cycles\":5,\"sim_wall_us\":0,\"note\":\"sim_wall_us: 3\","
+              "\"run_wall_us\":0,\"inner_wall_us\":0}")
+        << "string values mentioning a wall key must survive untouched";
+}
+
+TEST(ReportNorm, AutoFormatDetection)
+{
+    EXPECT_EQ(zeroWallReport("  {\"sim_wall_us\":3}"),
+              "  {\"sim_wall_us\":0}");
+    EXPECT_EQ(zeroWallReport("a,sim_wall_us\nx,3\n"), "a,sim_wall_us\nx,0\n");
+    EXPECT_EQ(zeroWallReport("a,sim_wall_us\nx,3\n", "csv"),
+              "a,sim_wall_us\nx,0\n");
 }
 
 } // namespace

@@ -168,6 +168,51 @@ TEST(PlanCache, ConcurrentLookupsStayConsistent)
     EXPECT_EQ(cache.stats().hits, 8u * 50u - 1u);
 }
 
+TEST(PlanCache, ConcurrentMixedModeStressKeepsExactCounters)
+{
+    // The daemon leans on this harder than the batch engine does: many
+    // intake threads racing runtime lookups across BOTH engine tiers and
+    // several planning points at once. Whole-lookup locking must keep the
+    // counters exact — misses = |unique keys| and hits = lookups - misses,
+    // independent of interleaving — and the stress must be sanitizer-clean.
+    PlanCache cache;
+    const LayerSpec shapes[] = {
+        sim::convLayer("a", 8, 8, 8, 3, 1, 1),
+        sim::convLayer("b", 16, 8, 8, 3, 1, 1),
+        sim::convLayer("c", 8, 8, 16, 1, 1, 0),
+    };
+    const sim::EngineMode modes[] = {sim::EngineMode::Cycle,
+                                     sim::EngineMode::Analytic};
+    const sim::DataflowKind kinds[] = {sim::DataflowKind::Canonical,
+                                       sim::DataflowKind::ChannelParallel};
+    constexpr int kThreads = 8;
+    constexpr int kItersPerThread = 60;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kItersPerThread; ++i) {
+                // Each thread walks the key space in a different order.
+                const int n = (i + t) % (3 * 2 * 2);
+                const auto plan = cache.getOrPlan(
+                    modes[n % 2], kinds[(n / 2) % 2], shapes[n / 4], 8, 8);
+                if (!plan.has_value()) failures.fetch_add(1);
+                // Mode is part of the key: the tier tag must round-trip.
+                if (plan && plan->engine != modes[n % 2]) {
+                    failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    const PlanCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 12u) << "3 shapes x 2 modes x 2 dataflows";
+    EXPECT_EQ(stats.misses, 12u) << "exactly one miss per unique key";
+    EXPECT_EQ(stats.lookups(), uint64_t(kThreads) * kItersPerThread);
+    EXPECT_EQ(stats.hits, uint64_t(kThreads) * kItersPerThread - 12u);
+}
+
 // ---------------------------------------------------------------------------
 // Sweep expansion and batch files
 // ---------------------------------------------------------------------------
