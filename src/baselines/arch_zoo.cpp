@@ -42,23 +42,11 @@ base16x16(WorkloadKind kind)
     return a;
 }
 
-} // namespace
-
-BufferSpec
-defaultIactBuffer()
-{
-    // 512 lines x 32 words; 8 lines per physical bank; TSMC dual-port.
-    BufferSpec b;
-    b.num_lines = 512;
-    b.line_size = 32;
-    b.lines_per_bank = 8;
-    b.read_ports = 2;
-    b.write_ports = 2;
-    return b;
-}
+// The actual design-point builders. The registry points at these; the
+// classic factory functions are thin wrappers over registry lookup.
 
 ArchSpec
-nvdlaLike(WorkloadKind kind)
+makeNvdlaLike(WorkloadKind kind)
 {
     ArchSpec a = base16x16(kind);
     a.name = "NVDLA-like";
@@ -72,7 +60,7 @@ nvdlaLike(WorkloadKind kind)
 }
 
 ArchSpec
-eyerissLike(WorkloadKind kind)
+makeEyerissLike(WorkloadKind kind)
 {
     ArchSpec a = base16x16(kind);
     a.name = "Eyeriss-like";
@@ -89,7 +77,7 @@ eyerissLike(WorkloadKind kind)
 }
 
 ArchSpec
-sigmaLikeFixed(WorkloadKind kind, const char *layout_name)
+makeSigmaLikeFixed(WorkloadKind kind, const char *layout_name)
 {
     ArchSpec a = base16x16(kind);
     a.name = strCat("SIGMA-like (", layout_name, ")");
@@ -101,8 +89,16 @@ sigmaLikeFixed(WorkloadKind kind, const char *layout_name)
     return a;
 }
 
+/** The registry's "sigma-fixed" point: the default layout per family. */
 ArchSpec
-sigmaLikeOffChip(WorkloadKind kind)
+makeSigmaLikeFixedDefault(WorkloadKind kind)
+{
+    return makeSigmaLikeFixed(kind, kind == WorkloadKind::Conv ? "HWC_C32"
+                                                               : "MK_K32");
+}
+
+ArchSpec
+makeSigmaLikeOffChip(WorkloadKind kind)
 {
     ArchSpec a = base16x16(kind);
     a.name = "SIGMA-like (off-chip reorder)";
@@ -115,7 +111,7 @@ sigmaLikeOffChip(WorkloadKind kind)
 }
 
 ArchSpec
-medusaLike(WorkloadKind kind)
+makeMedusaLike(WorkloadKind kind)
 {
     ArchSpec a = base16x16(kind);
     a.name = "Medusa-like";
@@ -126,7 +122,7 @@ medusaLike(WorkloadKind kind)
 }
 
 ArchSpec
-mtiaLike(WorkloadKind kind)
+makeMtiaLike(WorkloadKind kind)
 {
     ArchSpec a = base16x16(kind);
     a.name = "MTIA-like";
@@ -138,7 +134,7 @@ mtiaLike(WorkloadKind kind)
 }
 
 ArchSpec
-tpuLike(WorkloadKind kind)
+makeTpuLike(WorkloadKind kind)
 {
     ArchSpec a = base16x16(kind);
     a.name = "TPU-like";
@@ -154,13 +150,7 @@ tpuLike(WorkloadKind kind)
 }
 
 ArchSpec
-featherArch(WorkloadKind kind)
-{
-    return featherArch(kind, 16, 16);
-}
-
-ArchSpec
-featherArch(WorkloadKind kind, int pe_cols, int pe_rows)
+makeFeatherArch(WorkloadKind kind, int pe_cols, int pe_rows)
 {
     ArchSpec a = base16x16(kind);
     a.name = "FEATHER";
@@ -175,7 +165,13 @@ featherArch(WorkloadKind kind, int pe_cols, int pe_rows)
 }
 
 ArchSpec
-gemminiLike()
+makeFeatherDefault(WorkloadKind kind)
+{
+    return makeFeatherArch(kind, 16, 16);
+}
+
+ArchSpec
+makeGemminiLike(WorkloadKind)
 {
     ArchSpec a = base16x16(WorkloadKind::Conv);
     a.name = "Gemmini-like";
@@ -188,7 +184,7 @@ gemminiLike()
 }
 
 ArchSpec
-xilinxDpuLike()
+makeXilinxDpuLike(WorkloadKind)
 {
     ArchSpec a = base16x16(WorkloadKind::Conv);
     a.name = "Xilinx-DPU-like";
@@ -202,7 +198,7 @@ xilinxDpuLike()
 }
 
 ArchSpec
-edgeTpuLike()
+makeEdgeTpuLike(WorkloadKind)
 {
     ArchSpec a = base16x16(WorkloadKind::Conv);
     a.name = "EdgeTPU-like";
@@ -214,6 +210,161 @@ edgeTpuLike()
     a.systolic_fill_drain = true;
     a.noc_hops_per_word = 1.0;
     return a;
+}
+
+} // namespace
+
+BufferSpec
+defaultIactBuffer()
+{
+    // 512 lines x 32 words; 8 lines per physical bank; TSMC dual-port.
+    BufferSpec b;
+    b.num_lines = 512;
+    b.line_size = 32;
+    b.lines_per_bank = 8;
+    b.read_ports = 2;
+    b.write_ports = 2;
+    return b;
+}
+
+namespace baselines {
+
+ArchZoo::ArchZoo(std::vector<ZooEntry> entries)
+    : entries_(std::move(entries))
+{
+}
+
+const ZooEntry *
+ArchZoo::lookup(const std::string &name) const
+{
+    for (const ZooEntry &e : entries_) {
+        if (e.name == name) return &e;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ArchZoo::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const ZooEntry &e : entries_) out.push_back(e.name);
+    return out;
+}
+
+const ArchZoo &
+archZoo()
+{
+    static const ArchZoo zoo({
+        {"nvdla-like", "fixed C/M unrolling, no reorder", makeNvdlaLike},
+        {"eyeriss-like", "row-stationary with shape regrouping",
+         makeEyerissLike},
+        {"sigma-fixed", "fully flexible dataflow, one fixed layout",
+         makeSigmaLikeFixedDefault},
+        {"sigma-offchip", "flexible dataflow, DRAM round-trip reorder",
+         makeSigmaLikeOffChip},
+        {"medusa-like", "line-rotation on-chip reorder", makeMedusaLike},
+        {"mtia-like", "transpose-capable on-chip reorder", makeMtiaLike},
+        {"tpu-like", "systolic, transpose + row-reorder", makeTpuLike},
+        {"feather", "BIRRD reorder-in-reduction, full layout space",
+         makeFeatherDefault},
+        {"gemmini-like", "16x16 weight-stationary systolic",
+         makeGemminiLike},
+        {"xilinx-dpu-like", "1152-PE fixed (M,C,Q) unrolling",
+         makeXilinxDpuLike},
+        {"edgetpu-like", "1024-PE weight-stationary systolic",
+         makeEdgeTpuLike},
+    });
+    return zoo;
+}
+
+} // namespace baselines
+
+namespace {
+
+/** The wrapper contract: the classic factories resolve through the
+ *  registry, so a renamed or dropped entry fails loudly in tests. */
+ArchSpec
+fromZoo(const char *name, WorkloadKind kind)
+{
+    const baselines::ZooEntry *e = baselines::archZoo().lookup(name);
+    FEATHER_CHECK(e != nullptr, strCat("arch zoo entry '", name,
+                                       "' vanished from the registry"));
+    return e->make(kind);
+}
+
+} // namespace
+
+ArchSpec
+nvdlaLike(WorkloadKind kind)
+{
+    return fromZoo("nvdla-like", kind);
+}
+
+ArchSpec
+eyerissLike(WorkloadKind kind)
+{
+    return fromZoo("eyeriss-like", kind);
+}
+
+ArchSpec
+sigmaLikeFixed(WorkloadKind kind, const char *layout_name)
+{
+    return makeSigmaLikeFixed(kind, layout_name);
+}
+
+ArchSpec
+sigmaLikeOffChip(WorkloadKind kind)
+{
+    return fromZoo("sigma-offchip", kind);
+}
+
+ArchSpec
+medusaLike(WorkloadKind kind)
+{
+    return fromZoo("medusa-like", kind);
+}
+
+ArchSpec
+mtiaLike(WorkloadKind kind)
+{
+    return fromZoo("mtia-like", kind);
+}
+
+ArchSpec
+tpuLike(WorkloadKind kind)
+{
+    return fromZoo("tpu-like", kind);
+}
+
+ArchSpec
+featherArch(WorkloadKind kind)
+{
+    return fromZoo("feather", kind);
+}
+
+ArchSpec
+featherArch(WorkloadKind kind, int pe_cols, int pe_rows)
+{
+    return makeFeatherArch(kind, pe_cols, pe_rows);
+}
+
+ArchSpec
+gemminiLike()
+{
+    return fromZoo("gemmini-like", WorkloadKind::Conv);
+}
+
+ArchSpec
+xilinxDpuLike()
+{
+    return fromZoo("xilinx-dpu-like", WorkloadKind::Conv);
+}
+
+ArchSpec
+edgeTpuLike()
+{
+    return fromZoo("edgetpu-like", WorkloadKind::Conv);
 }
 
 std::vector<ArchSpec>

@@ -19,6 +19,7 @@
  * paper's normalization.
  */
 
+#include <string>
 #include <vector>
 
 #include "layoutloop/arch_spec.hpp"
@@ -30,6 +31,44 @@ enum class WorkloadKind { Conv, Gemm };
 
 /** Shared 16x16 buffer organization for the Layoutloop design points. */
 BufferSpec defaultIactBuffer();
+
+namespace baselines {
+
+/** One named design point of the registry. */
+struct ZooEntry
+{
+    std::string name;    ///< registry key, e.g. "tpu-like"
+    std::string summary; ///< one-line description
+    ArchSpec (*make)(WorkloadKind kind);
+};
+
+/**
+ * String-keyed registry over the arch zoo, so design points are
+ * addressable by name from CLI surfaces (`--fleet tpu-like,...`). The
+ * classic factory functions below remain as thin wrappers over lookup().
+ */
+class ArchZoo
+{
+  public:
+    explicit ArchZoo(std::vector<ZooEntry> entries);
+
+    /** The entry named @p name, or nullptr (names are exact, e.g.
+     *  "nvdla-like"). */
+    const ZooEntry *lookup(const std::string &name) const;
+
+    /** Every registered name, in registration order. */
+    std::vector<std::string> names() const;
+
+    const std::vector<ZooEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<ZooEntry> entries_;
+};
+
+/** The process-wide registry (immutable after construction). */
+const ArchZoo &archZoo();
+
+} // namespace baselines
 
 // --- Fig. 13 design points (16x16 PEs) ---
 ArchSpec nvdlaLike(WorkloadKind kind);

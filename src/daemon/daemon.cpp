@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "dataflow/mapping.hpp"
 #include "model/graph.hpp"
 #include "model/scheduler.hpp"
 #include "sim/scenario.hpp"
@@ -25,6 +26,9 @@ constexpr sim::DataflowKind kModelFamilies[] = {
     sim::DataflowKind::WindowParallel,
 };
 
+/** Element width the hand-off transfer term is priced at. */
+constexpr int64_t kHandoffElemBytes = 1;
+
 std::string
 reasonLine(const Request &req, const char *status, const std::string &reason)
 {
@@ -39,6 +43,14 @@ Daemon::Daemon(DaemonOptions opts) : opts_(opts)
 {
     if (opts_.num_threads < 1) opts_.num_threads = 1;
     if (opts_.clock_mhz < 1) opts_.clock_mhz = 1;
+    if (opts_.fleet.enabled()) {
+        // The fleet *is* the virtual serving system: one virtual server
+        // per device, placement by the fleet's policy.
+        opts_.virt.devices = toVirtualDevices(opts_.fleet);
+        opts_.virt.place = opts_.fleet.place;
+        opts_.virt.vworkers = int(opts_.fleet.devices.size());
+        dev_stats_.resize(opts_.fleet.devices.size());
+    }
     pool_ = std::make_unique<serve::ThreadPool>(opts_.num_threads);
     start_ = std::chrono::steady_clock::now();
 }
@@ -58,67 +70,160 @@ Daemon::wallSinceStartUs() const
         .count();
 }
 
-std::string
-Daemon::preplanLocked(const Request &req, ClientStats *stats)
+Daemon::ShapeInfo
+Daemon::planShapeLocked(const Request &req, ClientStats *stats, int aw,
+                        int ah)
 {
     const sim::EngineMode mode = req.engine ? *req.engine : opts_.engine;
+    ShapeInfo info;
     // One planning point: count hit/miss against the admission-time
     // planning history (racing the pool's runtime lookups would make
     // per-client counters timing-dependent), then actually plan.
     const auto plan_point = [&](sim::DataflowKind kind,
-                                const LayerSpec &layer, int aw, int ah,
+                                const LayerSpec &layer, int paw, int pah,
                                 std::string *err) {
         const std::string key =
-            serve::PlanCache::key(mode, kind, layer, aw, ah);
+            serve::PlanCache::key(mode, kind, layer, paw, pah);
+        info.keys.push_back(key);
         if (planned_keys_.insert(key).second) {
             ++stats->cache_misses;
         } else {
             ++stats->cache_hits;
         }
-        return cache_.getOrPlan(mode, kind, layer, aw, ah, err).has_value();
+        return cache_.getOrPlan(mode, kind, layer, paw, pah, err);
     };
 
     if (!req.isModel()) {
         const sim::Scenario *scenario = sim::findScenario(req.scenario);
-        if (!scenario) {
-            return strCat("unknown scenario \"", req.scenario, "\"");
-        }
-        const int aw = req.aw > 0 ? req.aw : scenario->default_aw;
-        const int ah = req.ah > 0 ? req.ah : scenario->default_ah;
+        FEATHER_CHECK(scenario != nullptr, "scenario validated earlier");
+        const int eff_aw = aw > 0 ? aw : scenario->default_aw;
+        const int eff_ah = ah > 0 ? ah : scenario->default_ah;
         std::optional<sim::DataflowKind> forced;
-        if (!req.dataflow.empty()) {
-            forced = sim::parseDataflow(req.dataflow);
-            if (!forced) {
-                return strCat("unknown dataflow \"", req.dataflow, "\"");
-            }
-        }
+        if (!req.dataflow.empty()) forced = sim::parseDataflow(req.dataflow);
+        bool first = true;
         for (const sim::ScenarioLayer &sl : scenario->layers) {
             std::string err;
-            if (!plan_point(forced ? *forced : sl.dataflow, sl.layer, aw,
-                            ah, &err)) {
-                return strCat("layer ", sl.layer.name, ": ", err);
+            const std::optional<sim::LayerPlan> plan = plan_point(
+                forced ? *forced : sl.dataflow, sl.layer, eff_aw, eff_ah,
+                &err);
+            if (!plan) {
+                info.error = strCat("layer ", sl.layer.name, ": ", err);
+                return info;
+            }
+            if (first) {
+                info.in_layout = plan->in_layout;
+                info.in_extents = iactExtents(sl.layer);
+                first = false;
             }
         }
-        return "";
+        info.feasible = true;
+        return info;
     }
 
     const model::ModelGraph *graph = model::findModel(req.model);
-    if (!graph) {
-        return strCat("unknown model \"", req.model, "\"");
-    }
-    std::string err;
-    if (!model::parseSchedule(req.schedule, &err)) return err;
-    const int aw = req.aw > 0 ? req.aw : graph->default_aw;
-    const int ah = req.ah > 0 ? req.ah : graph->default_ah;
+    FEATHER_CHECK(graph != nullptr, "model validated earlier");
+    const int eff_aw = aw > 0 ? aw : graph->default_aw;
+    const int eff_ah = ah > 0 ? ah : graph->default_ah;
+    bool first = true;
     for (const model::ModelLayer &ml : graph->layers) {
         bool feasible = false;
+        std::string err;
         for (sim::DataflowKind kind : kModelFamilies) {
-            if (plan_point(kind, ml.spec, aw, ah, &err)) feasible = true;
+            const std::optional<sim::LayerPlan> plan =
+                plan_point(kind, ml.spec, eff_aw, eff_ah, &err);
+            if (plan && !feasible) {
+                feasible = true;
+                if (first) {
+                    info.in_layout = plan->in_layout;
+                    info.in_extents = iactExtents(ml.spec);
+                    first = false;
+                }
+            }
         }
         if (!feasible) {
-            return strCat("no dataflow family fits ", ml.spec.name, " on a ",
-                          aw, "x", ah, " array: ", err);
+            info.error = strCat("no dataflow family fits ", ml.spec.name,
+                                " on a ", eff_aw, "x", eff_ah, " array: ",
+                                err);
+            return info;
         }
+    }
+    info.feasible = true;
+    return info;
+}
+
+std::string
+Daemon::preplanLocked(Pending *p, ClientStats *stats)
+{
+    const Request &req = p->req;
+    // Shape-independent validation first.
+    if (!req.isModel()) {
+        if (!sim::findScenario(req.scenario)) {
+            return strCat("unknown scenario \"", req.scenario, "\"");
+        }
+        if (!req.dataflow.empty() && !sim::parseDataflow(req.dataflow)) {
+            return strCat("unknown dataflow \"", req.dataflow, "\"");
+        }
+    } else {
+        if (!model::findModel(req.model)) {
+            return strCat("unknown model \"", req.model, "\"");
+        }
+        std::string err;
+        if (!model::parseSchedule(req.schedule, &err)) return err;
+    }
+
+    const auto add_variant = [&](int aw, int ah) {
+        auto v = std::make_unique<ExecVariant>();
+        v->aw = aw;
+        v->ah = ah;
+        v->done_future = v->done.get_future();
+        p->variants.push_back(std::move(v));
+        return int(p->variants.size()) - 1;
+    };
+
+    if (!opts_.fleet.enabled()) {
+        const ShapeInfo info =
+            planShapeLocked(req, stats, req.aw, req.ah);
+        if (!info.feasible) return info.error;
+        add_variant(req.aw, req.ah);
+        return "";
+    }
+
+    // Fleet: plan once per *distinct* resolved shape (a request that pins
+    // --aw/--ah resolves to the same shape everywhere), share the
+    // resulting variant between same-shaped devices, and remember per
+    // device what its execution would look like.
+    const std::vector<DeviceSpec> &devs = opts_.fleet.devices;
+    p->dev_plan.resize(devs.size());
+    std::map<std::pair<int, int>, std::pair<ShapeInfo, int>> shapes;
+    std::string first_error;
+    for (size_t d = 0; d < devs.size(); ++d) {
+        const int aw = req.aw > 0 ? req.aw : devs[d].aw;
+        const int ah = req.ah > 0 ? req.ah : devs[d].ah;
+        auto it = shapes.find({aw, ah});
+        if (it == shapes.end()) {
+            ShapeInfo info = planShapeLocked(req, stats, aw, ah);
+            const int variant =
+                info.feasible ? add_variant(aw, ah) : -1;
+            if (!info.feasible && first_error.empty()) {
+                first_error = info.error;
+            }
+            it = shapes.emplace(std::make_pair(aw, ah),
+                                std::make_pair(std::move(info), variant))
+                     .first;
+        }
+        const ShapeInfo &info = it->second.first;
+        DevicePlan &dp = p->dev_plan[d];
+        dp.feasible = info.feasible;
+        if (info.feasible) {
+            dp.variant = it->second.second;
+            dp.in_layout = info.in_layout;
+            dp.in_extents = info.in_extents;
+            dp.keys = info.keys;
+        }
+    }
+    if (p->variants.empty()) {
+        return strCat("no fleet device can run this request: ",
+                      first_error);
     }
     return "";
 }
@@ -129,7 +234,6 @@ Daemon::enqueue(Request req, ResponseSink sink)
     auto p = std::make_unique<Pending>();
     p->req = std::move(req);
     p->sink = std::move(sink);
-    p->done_future = p->done.get_future();
 
     bool runnable = false;
     Pending *raw = p.get();
@@ -152,16 +256,21 @@ Daemon::enqueue(Request req, ResponseSink sink)
         ClientStats &cs = clients_[p->req.client];
         ++cs.requests;
         if (p->early_error.empty()) {
-            p->early_error = preplanLocked(p->req, &cs);
+            p->early_error = preplanLocked(p.get(), &cs);
         }
         runnable = p->early_error.empty();
         intake_.push_back(std::move(p));
     }
     // Continuous batching: the simulation starts the moment the request
     // is planned, regardless of admission (decided later, in virtual
-    // time). A rejected request's result is simply discarded.
+    // time). A rejected request's result is simply discarded. Fleet mode
+    // runs one speculative execution per distinct device shape; the DES
+    // charges the placed device's variant.
     if (runnable) {
-        pool_->submit([this, raw] { execute(raw); });
+        for (const std::unique_ptr<ExecVariant> &v : raw->variants) {
+            ExecVariant *var = v.get();
+            pool_->submit([this, raw, var] { execute(raw, var); });
+        }
     }
     intake_cv_.notify_one();
 }
@@ -181,7 +290,6 @@ Daemon::enqueueLine(const std::string &line, ResponseSink sink)
         raw->early_error = strCat("bad request line: ", error);
         raw->req = std::move(bad);
         raw->sink = std::move(sink);
-        raw->done_future = raw->done.get_future();
         std::lock_guard<std::mutex> lk(mu_);
         if (closed_) return;
         raw->index = next_index_++;
@@ -208,10 +316,10 @@ Daemon::closeIntake()
 }
 
 void
-Daemon::execute(Pending *p)
+Daemon::execute(Pending *p, ExecVariant *v)
 {
     const auto exec_start = std::chrono::steady_clock::now();
-    ExecResult &r = p->exec;
+    ExecResult &r = v->exec;
     r.queue_wall_us = wallSinceStartUs() - p->enqueue_wall_us;
     const uint64_t seed =
         p->req.seed ? *p->req.seed
@@ -225,8 +333,8 @@ Daemon::execute(Pending *p)
             FEATHER_CHECK(scenario != nullptr,
                           "pre-planned scenario vanished");
             sim::ScenarioOptions sopts;
-            sopts.aw = p->req.aw;
-            sopts.ah = p->req.ah;
+            sopts.aw = v->aw;
+            sopts.ah = v->ah;
             sopts.dataflow = p->req.dataflow;
             sopts.layout = p->req.layout;
             sopts.out_layout = p->req.out_layout;
@@ -255,8 +363,8 @@ Daemon::execute(Pending *p)
             FEATHER_CHECK(policy.has_value(),
                           "pre-validated schedule vanished");
             model::SchedulerOptions mopts;
-            mopts.aw = p->req.aw;
-            mopts.ah = p->req.ah;
+            mopts.aw = v->aw;
+            mopts.ah = v->ah;
             // One request = one pool slot; parallelism comes from serving
             // many requests, not from fanning out inside one.
             mopts.num_threads = 1;
@@ -290,7 +398,18 @@ Daemon::execute(Pending *p)
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - exec_start)
             .count();
-    p->done.set_value();
+    v->done.set_value();
+}
+
+Daemon::ExecVariant *
+Daemon::variantFor(Pending *p, int device) const
+{
+    if (device < 0) return p->variants.front().get();
+    FEATHER_CHECK(size_t(device) < p->dev_plan.size(),
+                  "placed device out of range");
+    const DevicePlan &dp = p->dev_plan[size_t(device)];
+    FEATHER_CHECK(dp.feasible, "placed on an infeasible device");
+    return p->variants[size_t(dp.variant)].get();
 }
 
 void
@@ -300,9 +419,19 @@ Daemon::respond(Pending *p, const std::string &line)
 }
 
 void
-Daemon::finishOne(Pending *p, int64_t start_vus, int64_t finish_vus)
+Daemon::finishOne(Pending *p, int device, int64_t start_vus,
+                  int64_t finish_vus)
 {
-    const ExecResult &r = p->exec;
+    const ExecVariant *v = variantFor(p, device);
+    const ExecResult &r = v->exec;
+    if (device >= 0) {
+        // The device served this completion in virtual time whatever the
+        // execution outcome; busy time includes the hand-off premium.
+        DeviceStats &ds = dev_stats_[size_t(device)];
+        ++ds.requests;
+        ds.busy_vus += finish_vus - start_vus;
+        ds.queue.record(start_vus - p->arrival_vus);
+    }
     if (!r.ok) {
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -329,13 +458,20 @@ Daemon::finishOne(Pending *p, int64_t start_vus, int64_t finish_vus)
         cs.service_wall_us += r.service_wall_us;
         if (r.mismatches != 0) ++failures_;
     }
+    std::string extra;
+    if (device >= 0) {
+        extra = strCat(
+            ",\"device\":\"",
+            jsonEscape(opts_.fleet.devices[size_t(device)].name),
+            "\",\"handoff_vus\":", p->handoff_vus);
+    }
     respond(p, strCat("{\"id\":\"", jsonEscape(p->req.id),
                       "\",\"client\":\"", jsonEscape(p->req.client),
                       "\",\"status\":\"", status, "\",\"cycles\":", r.cycles,
                       ",\"macs\":", r.macs, ",\"checked\":", r.checked,
                       ",\"mismatches\":", r.mismatches,
                       ",\"queue_vus\":", queue_vus,
-                      ",\"service_vus\":", p->service_vus,
+                      ",\"service_vus\":", p->service_vus, extra,
                       ",\"latency_vus\":", latency_vus,
                       ",\"finish_vus\":", finish_vus,
                       ",\"service_wall_us\":", r.service_wall_us, "}"));
@@ -344,24 +480,29 @@ Daemon::finishOne(Pending *p, int64_t start_vus, int64_t finish_vus)
 DaemonReport
 Daemon::run()
 {
+    const bool fleet = opts_.fleet.enabled();
+    const std::vector<DeviceSpec> &devs = opts_.fleet.devices;
+
     // Requests the DES admitted, indexed by DES position.
     std::vector<Pending *> des;
     VirtualScheduler vs(
         opts_.virt,
-        [this, &des](size_t pos) {
+        [this, &des](size_t pos, int device) {
             Pending *p = des[pos];
             // The one synchronization point between virtual time and the
             // wall-clock pool: a request's service duration is known once
             // its speculative execution lands.
-            p->done_future.wait();
-            const int64_t cycles = p->exec.ok ? p->exec.cycles : 0;
+            ExecVariant *v = variantFor(p, device);
+            v->done_future.wait();
+            const int64_t cycles = v->exec.ok ? v->exec.cycles : 0;
             p->service_vus = std::max<int64_t>(
                 1, (cycles + int64_t(opts_.clock_mhz) - 1) /
                        int64_t(opts_.clock_mhz));
             return p->service_vus;
         },
-        [this, &des](size_t pos, int64_t start_vus, int64_t finish_vus) {
-            finishOne(des[pos], start_vus, finish_vus);
+        [this, &des](size_t pos, int device, int64_t start_vus,
+                     int64_t finish_vus) {
+            finishOne(des[pos], device, start_vus, finish_vus);
         });
 
     int64_t last_arrival = 0;
@@ -406,7 +547,85 @@ Daemon::run()
         const size_t pos = des.size();
         des.push_back(p);
         std::string reason;
-        if (!vs.arrive(pos, p->arrival_vus, p->req.priority, &reason)) {
+        bool accepted;
+        if (fleet) {
+            const size_t ndev = devs.size();
+            ArrivalHints hints;
+            hints.eligible.resize(ndev);
+            for (size_t d = 0; d < ndev; ++d) {
+                hints.eligible[d] = p->dev_plan[d].feasible ? 1 : 0;
+            }
+            if (opts_.fleet.place == PlacementPolicy::Affinity) {
+                // Affinity score: how many of this request's planning
+                // points the device has already served (device-scoped
+                // keys, maintained at placement time below).
+                hints.affinity.assign(ndev, 0);
+                for (size_t d = 0; d < ndev; ++d) {
+                    if (!p->dev_plan[d].feasible) continue;
+                    for (const std::string &k : p->dev_plan[d].keys) {
+                        if (device_keys_.count(serve::PlanCache::scopedKey(
+                                k, devs[d].name))) {
+                            ++hints.affinity[d];
+                        }
+                    }
+                }
+            }
+            // Cross-device hand-off premium: moving this client's stream
+            // off its previous device pays reorder + inter-chip transfer
+            // (model::handoffCost), converted cycles -> vus.
+            hints.handoff_vus.assign(ndev, 0);
+            const auto prev_it = client_device_.find(p->req.client);
+            const int prev =
+                prev_it == client_device_.end() ? -1 : prev_it->second;
+            if (prev >= 0) {
+                for (size_t d = 0; d < ndev; ++d) {
+                    if (int(d) == prev || !p->dev_plan[d].feasible) {
+                        continue;
+                    }
+                    const DevicePlan &dst = p->dev_plan[d];
+                    const Layout &src =
+                        p->dev_plan[size_t(prev)].feasible
+                            ? p->dev_plan[size_t(prev)].in_layout
+                            : dst.in_layout;
+                    const int64_t cycles = model::handoffCost(
+                        false, src, dst.in_layout, dst.in_extents,
+                        kHandoffElemBytes, opts_.fleet.link);
+                    hints.handoff_vus[d] = std::max<int64_t>(
+                        1, (cycles + int64_t(opts_.clock_mhz) - 1) /
+                               int64_t(opts_.clock_mhz));
+                }
+            }
+            int placed = -1;
+            accepted = vs.arrive(pos, p->arrival_vus, p->req.priority,
+                                 hints, &reason, &placed);
+            if (accepted) {
+                p->device = placed;
+                p->handoff_vus = hints.handoff_vus[size_t(placed)];
+                client_device_[p->req.client] = placed;
+                DeviceStats &ds = dev_stats_[size_t(placed)];
+                if (p->handoff_vus > 0) {
+                    ++ds.handoffs;
+                    ds.handoff_vus += p->handoff_vus;
+                }
+                // Virtual per-device cache warmth: a planning point is
+                // warm only on devices that placed it before.
+                for (const std::string &k :
+                     p->dev_plan[size_t(placed)].keys) {
+                    if (device_keys_
+                            .insert(serve::PlanCache::scopedKey(
+                                k, devs[size_t(placed)].name))
+                            .second) {
+                        ++ds.cache_misses;
+                    } else {
+                        ++ds.cache_hits;
+                    }
+                }
+            }
+        } else {
+            accepted =
+                vs.arrive(pos, p->arrival_vus, p->req.priority, &reason);
+        }
+        if (!accepted) {
             {
                 std::lock_guard<std::mutex> lk(mu_);
                 ++clients_[p->req.client].rejected;
@@ -477,6 +696,24 @@ Daemon::buildReport(const VirtualScheduler &vs) const
                                 double(rep.makespan_vus)
                           : 0.0;
     rep.cache = cache_.stats();
+    if (opts_.fleet.enabled()) {
+        rep.fleet = opts_.fleet.spec;
+        rep.place = toString(opts_.fleet.place);
+        for (size_t i = 0; i < dev_stats_.size(); ++i) {
+            const DeviceStats &ds = dev_stats_[i];
+            DeviceRow row;
+            row.device = opts_.fleet.devices[i].name;
+            row.capability = opts_.fleet.devices[i].capability;
+            row.requests = ds.requests;
+            row.busy_vus = ds.busy_vus;
+            row.queue_p95_vus = ds.queue.percentile(95);
+            row.cache_hits = ds.cache_hits;
+            row.cache_misses = ds.cache_misses;
+            row.handoffs = ds.handoffs;
+            row.handoff_vus = ds.handoff_vus;
+            rep.devices.push_back(std::move(row));
+        }
+    }
     rep.run_wall_us = wallSinceStartUs();
     return rep;
 }

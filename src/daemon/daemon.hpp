@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "daemon/fleet.hpp"
 #include "daemon/report.hpp"
 #include "daemon/request.hpp"
 #include "daemon/vclock.hpp"
@@ -64,6 +65,11 @@ struct DaemonOptions
     VirtualConfig virt;
     /** Virtual clock: service_vus = ceil(cycles / clock_mhz). */
     uint64_t clock_mhz = 1000;
+    /** Heterogeneous fleet (--fleet): when enabled, each virtual server
+     *  is a distinct named device, requests are placed by fleet.place,
+     *  and cross-device hand-offs are priced into service time. Overrides
+     *  virt.vworkers/virt.devices. */
+    FleetConfig fleet;
 };
 
 /** Where a request's response line goes (per-request: TCP connections
@@ -120,6 +126,30 @@ class Daemon
         int64_t service_wall_us = 0; ///< execution duration
     };
 
+    /** One speculative execution at one resolved array shape. Fleet mode
+     *  runs a request once per *distinct* device shape; the DES then
+     *  charges the placed device's variant. Homogeneous runs have exactly
+     *  one variant. */
+    struct ExecVariant
+    {
+        int aw = 0; ///< shape override passed to execution (0 = default)
+        int ah = 0;
+        std::promise<void> done;
+        std::future<void> done_future;
+        ExecResult exec; ///< written by the pool task before done
+    };
+
+    /** What one fleet device would do with one request (filled at
+     *  admission time, on the intake path, under mu_). */
+    struct DevicePlan
+    {
+        bool feasible = false;
+        int variant = 0;    ///< index into Pending::variants
+        Layout in_layout;   ///< first layer's planned input layout
+        Extents in_extents; ///< first layer's input tensor extents
+        std::vector<std::string> keys; ///< base plan keys at this shape
+    };
+
     /** One request in flight, owned by the daemon until run() returns. */
     struct Pending
     {
@@ -129,10 +159,11 @@ class Daemon
         int64_t arrival_vus = 0;
         int64_t enqueue_wall_us = 0;
         std::string early_error; ///< parse/validation error; skips the DES
-        std::promise<void> done;
-        std::future<void> done_future;
-        ExecResult exec;        ///< written by the pool task before done
+        std::vector<std::unique_ptr<ExecVariant>> variants;
+        std::vector<DevicePlan> dev_plan; ///< fleet mode: one per device
         int64_t service_vus = 0;
+        int device = -1;         ///< placed device (fleet mode)
+        int64_t handoff_vus = 0; ///< cross-device hand-off premium paid
     };
 
     /** Per-client accounting, folded into ClientRows at report time. */
@@ -153,24 +184,57 @@ class Daemon
         int64_t service_wall_us = 0;
     };
 
+    /** Per-device virtual bookkeeping (fleet mode; run() thread). */
+    struct DeviceStats
+    {
+        uint64_t requests = 0;
+        int64_t busy_vus = 0;
+        LatencyHistogram queue;
+        uint64_t cache_hits = 0;
+        uint64_t cache_misses = 0;
+        uint64_t handoffs = 0;
+        int64_t handoff_vus = 0;
+    };
+
+    /** Outcome of planning one request at one resolved array shape. */
+    struct ShapeInfo
+    {
+        bool feasible = false;
+        std::string error;  ///< why this shape cannot run
+        Layout in_layout;   ///< first layer's planned input layout
+        Extents in_extents;
+        std::vector<std::string> keys; ///< base plan keys at this shape
+    };
+
     int64_t wallSinceStartUs() const;
 
     /**
-     * Validate @p req and warm the plan cache with every planning point
-     * its execution will look up, attributing hits/misses to @p stats.
-     * Runs under mu_ (sequential in intake order => deterministic
-     * attribution). Returns a non-empty reason when the request can
-     * never run (unknown workload, bad override, infeasible mapping).
+     * Validate @p p->req and warm the plan cache with every planning
+     * point its execution will look up, attributing hits/misses to
+     * @p stats. Runs under mu_ (sequential in intake order =>
+     * deterministic attribution). Fleet mode plans once per distinct
+     * device shape, fills p->dev_plan, and creates one ExecVariant per
+     * feasible shape. Returns a non-empty reason when the request can
+     * never run (unknown workload, bad override, infeasible mapping on
+     * every device).
      */
-    std::string preplanLocked(const Request &req, ClientStats *stats);
+    std::string preplanLocked(Pending *p, ClientStats *stats);
+
+    /** Plan every layer of @p req at one resolved shape (under mu_). */
+    ShapeInfo planShapeLocked(const Request &req, ClientStats *stats,
+                              int aw, int ah);
 
     /** The speculative execution body (pool thread). */
-    void execute(Pending *p);
+    void execute(Pending *p, ExecVariant *v);
+
+    /** The variant the DES charges when @p p runs on @p device. */
+    ExecVariant *variantFor(Pending *p, int device) const;
 
     void respond(Pending *p, const std::string &line);
 
     /** Event-loop helpers (run() thread). */
-    void finishOne(Pending *p, int64_t start_vus, int64_t finish_vus);
+    void finishOne(Pending *p, int device, int64_t start_vus,
+                   int64_t finish_vus);
     DaemonReport buildReport(const VirtualScheduler &vs) const;
 
     DaemonOptions opts_;
@@ -191,6 +255,11 @@ class Daemon
     std::map<std::string, ClientStats> clients_;
     uint64_t failures_ = 0;
     uint64_t total_requests_ = 0;
+
+    // Fleet-mode placement state, touched only by the run() thread.
+    std::vector<DeviceStats> dev_stats_;          ///< fleet order
+    std::unordered_set<std::string> device_keys_; ///< device-scoped keys
+    std::map<std::string, int> client_device_;    ///< last placed device
 };
 
 } // namespace daemon

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Heterogeneous fleet configuration for the serving daemon.
+ *
+ * A fleet is an ordered list of named simulated devices — FEATHER
+ * instances of arbitrary PE-array sizes plus any arch-zoo design point —
+ * parsed from a `--fleet` value:
+ *
+ *   --fleet feather:16x16,feather:32x32,tpu-like
+ *
+ * Spec grammar (comma-separated entries; or a file path, one entry per
+ * line with '#' comments and commas allowed):
+ *
+ *   entry := "feather:<COLS>x<ROWS>"       custom FEATHER instance
+ *          | <arch-zoo name>               baselines::archZoo() entry
+ *
+ * Each device serves requests at its own array shape (requests that pin
+ * --aw/--ah keep their pinned shape everywhere), contributes its PE count
+ * as placement capability, and gets a unique report name (duplicate
+ * entries get a "#2", "#3"... suffix).
+ */
+
+#include <string>
+#include <vector>
+
+#include "layoutloop/arch_spec.hpp"
+#include "model/scheduler.hpp"
+#include "daemon/vclock.hpp"
+
+namespace feather {
+namespace daemon {
+
+/** One named device of the simulated fleet. */
+struct DeviceSpec
+{
+    std::string name; ///< unique report name ("feather:32x32")
+    ArchSpec arch;
+    /** Array shape requests resolve to when they do not pin aw/ah. */
+    int aw = 16;
+    int ah = 16;
+    /** Placement weight of the Capability policy (PE count). */
+    int64_t capability = 256;
+};
+
+/** The whole fleet: devices + placement policy + inter-chip link. */
+struct FleetConfig
+{
+    std::vector<DeviceSpec> devices;
+    PlacementPolicy place = PlacementPolicy::LeastLoaded;
+    /** Prices the transfer term of cross-device hand-offs. */
+    model::InterChipLink link;
+    /** The normalized spec text ("a,b,c"), echoed in reports. */
+    std::string spec;
+
+    bool enabled() const { return !devices.empty(); }
+};
+
+/**
+ * Parse a --fleet value: @p text is a file path (when a file of that name
+ * is readable) or an inline spec. False with a one-line @p error on an
+ * unknown device name (listing the valid ones), malformed feather:<C>x<R>
+ * shapes, or an empty/oversized fleet.
+ */
+bool parseFleetSpec(const std::string &text, FleetConfig *out,
+                    std::string *error);
+
+/** The vclock view of the fleet (names + capabilities, in order). */
+std::vector<VirtualDevice> toVirtualDevices(const FleetConfig &fleet);
+
+} // namespace daemon
+} // namespace feather

@@ -40,6 +40,30 @@ row(const ClientRow &c)
             std::to_string(c.service_wall_us)};
 }
 
+const std::vector<std::string> &
+deviceColumns()
+{
+    static const std::vector<std::string> cols = {
+        "device",     "capability",   "requests",
+        "busy_vus",   "queue_p95_vus", "cache_hits",
+        "cache_misses", "handoffs",   "handoff_vus"};
+    return cols;
+}
+
+std::vector<std::string>
+deviceRow(const DeviceRow &d)
+{
+    return {csvSafe(d.device),
+            std::to_string(d.capability),
+            std::to_string(d.requests),
+            std::to_string(d.busy_vus),
+            std::to_string(d.queue_p95_vus),
+            std::to_string(d.cache_hits),
+            std::to_string(d.cache_misses),
+            std::to_string(d.handoffs),
+            std::to_string(d.handoff_vus)};
+}
+
 } // namespace
 
 std::string
@@ -47,7 +71,13 @@ DaemonReport::toCsv() const
 {
     Table t(columns());
     for (const ClientRow &c : clients) t.addRow(row(c));
-    return t.toCsv();
+    std::string out = t.toCsv();
+    if (!devices.empty()) {
+        Table dt(deviceColumns());
+        for (const DeviceRow &d : devices) dt.addRow(deviceRow(d));
+        out += "\n" + dt.toCsv();
+    }
+    return out;
 }
 
 std::string
@@ -71,8 +101,26 @@ DaemonReport::toJson() const
             ",\"queue_wall_us\":", c.queue_wall_us,
             ",\"service_wall_us\":", c.service_wall_us, "}");
     }
+    out += "]";
+    if (!devices.empty()) {
+        out += ",\"devices\":[";
+        for (size_t i = 0; i < devices.size(); ++i) {
+            const DeviceRow &d = devices[i];
+            if (i > 0) out += ",";
+            out += strCat(
+                "{\"device\":\"", jsonEscape(d.device),
+                "\",\"capability\":", d.capability,
+                ",\"requests\":", d.requests, ",\"busy_vus\":", d.busy_vus,
+                ",\"queue_p95_vus\":", d.queue_p95_vus,
+                ",\"cache_hits\":", d.cache_hits,
+                ",\"cache_misses\":", d.cache_misses,
+                ",\"handoffs\":", d.handoffs,
+                ",\"handoff_vus\":", d.handoff_vus, "}");
+        }
+        out += "]";
+    }
     out += strCat(
-        "],\"summary\":{\"requests\":", requests,
+        ",\"summary\":{\"requests\":", requests,
         ",\"accepted\":", accepted, ",\"rejected\":", rejected,
         ",\"errors\":", errors, ",\"p50_vus\":", p50_vus,
         ",\"p95_vus\":", p95_vus, ",\"p99_vus\":", p99_vus,
@@ -83,7 +131,12 @@ DaemonReport::toJson() const
         ",\"misses\":", cache.misses, ",\"entries\":", cache.entries,
         "},\"base_seed\":", base_seed, ",\"vworkers\":", vworkers,
         ",\"clock_mhz\":", clock_mhz, ",\"engine\":\"", jsonEscape(engine),
-        "\",\"run_wall_us\":", run_wall_us, "}}");
+        "\"");
+    if (!devices.empty()) {
+        out += strCat(",\"fleet\":\"", jsonEscape(fleet), "\",\"place\":\"",
+                      jsonEscape(place), "\"");
+    }
+    out += strCat(",\"run_wall_us\":", run_wall_us, "}}");
     return out;
 }
 
@@ -100,6 +153,20 @@ DaemonReport::summaryTable() const
                   strCat(c.cache_hits, "/", c.cache_misses)});
     }
     std::string out = t.toString();
+    if (!devices.empty()) {
+        Table dt({"device", "capability", "requests", "busy_vus",
+                  "queue_p95", "cache h/m", "handoffs"});
+        for (const DeviceRow &d : devices) {
+            dt.addRow({d.device, std::to_string(d.capability),
+                       std::to_string(d.requests),
+                       std::to_string(d.busy_vus),
+                       std::to_string(d.queue_p95_vus),
+                       strCat(d.cache_hits, "/", d.cache_misses),
+                       strCat(d.handoffs, " (", d.handoff_vus, " vus)")});
+        }
+        out += strCat("fleet [", fleet, "] placed by ", place, ":\n",
+                      dt.toString());
+    }
     out += strCat(requests, " request(s): ", accepted, " accepted, ",
                   rejected, " rejected, ", errors, " error(s); latency p50/"
                   "p95/p99 ", p50_vus, "/", p95_vus, "/", p99_vus,

@@ -57,10 +57,32 @@ struct ClientRow
     int64_t service_wall_us = 0;
 };
 
+/** Per-device accounting over one fleet-mode daemon run. Every field is
+ *  virtual-time bookkeeping, so device rows are fully deterministic. */
+struct DeviceRow
+{
+    std::string device; ///< unique fleet name ("feather:32x32")
+    int64_t capability = 0; ///< placement weight (PE count)
+    uint64_t requests = 0;  ///< completions served on this device
+    int64_t busy_vus = 0;   ///< virtual time in service (incl. hand-offs)
+    int64_t queue_p95_vus = 0; ///< p95 virtual wait before service
+    /** Virtual per-device plan-cache warmth: a request's planning points
+     *  count as hits only when this device saw them before (device-scoped
+     *  keys; see serve::PlanCache::scopedKey). */
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t handoffs = 0;   ///< placements that switched devices
+    int64_t handoff_vus = 0; ///< summed cross-device hand-off premiums
+};
+
 /** Everything one daemon run produced. */
 struct DaemonReport
 {
     std::vector<ClientRow> clients; ///< sorted by client name
+    /** Fleet mode only: one row per device, in fleet order. Empty in
+     *  homogeneous --vworkers runs, which keeps the classic CSV/JSON
+     *  schemas byte-identical. */
+    std::vector<DeviceRow> devices;
 
     uint64_t requests = 0;
     uint64_t accepted = 0;
@@ -82,10 +104,14 @@ struct DaemonReport
     int vworkers = 1;
     uint64_t clock_mhz = 0;
     std::string engine; ///< default engine tier ("cycle"/"analytic")
+    /** Fleet mode only: the --fleet spec and --place policy. */
+    std::string fleet;
+    std::string place;
     /** Wall duration of the whole run; zeroed by determinism checks. */
     int64_t run_wall_us = 0;
 
-    /** One CSV row per client (header included). */
+    /** One CSV row per client (header included); fleet runs append a
+     *  blank line plus a per-device section with its own header. */
     std::string toCsv() const;
 
     /** The whole report as one line of JSON. */

@@ -13,6 +13,7 @@
 
 #include "common/io.hpp"
 #include "common/log.hpp"
+#include "common/options.hpp"
 #include "common/parse.hpp"
 
 namespace feather {
@@ -141,6 +142,181 @@ class TcpFrontend
     std::thread accept_thread_;
 };
 
+/** Parse-time state not stored in the config itself. */
+struct ParseState
+{
+    bool has_mode = false;
+    bool has_qps = false;
+    bool has_requests = false;
+    bool has_vworkers = false;
+    bool has_fleet = false;
+    bool has_place = false;
+    PlacementPolicy place = PlacementPolicy::LeastLoaded;
+};
+
+/** The one declaration of every feather_serve flag: parse loop, error
+ *  phrasing, and the usage text all derive from this table. */
+OptionTable
+serveOptions(ServeCliConfig *out, ParseState *st)
+{
+    const auto set_mode = [out, st](ServeCliConfig::Mode mode) {
+        if (st->has_mode && out->mode != mode) {
+            return std::string(
+                "pick exactly one mode: --stdin, --listen, --replay, "
+                "or --qps/--requests");
+        }
+        out->mode = mode;
+        st->has_mode = true;
+        return std::string();
+    };
+
+    OptionTable t;
+    t.unknownSuffix(" (see feather_serve --help)");
+    t.flagFn("--stdin",
+             "JSON-lines requests on stdin until EOF\n"
+             "(or a bare `shutdown` line)",
+             [set_mode] { return set_mode(ServeCliConfig::Mode::Stdin); });
+    t.custom("--listen", "PORT",
+             "TCP frontend on 127.0.0.1:PORT (0 =\n"
+             "ephemeral, announced on stderr)",
+             [out, set_mode](const std::string &v) {
+                 std::string err = set_mode(ServeCliConfig::Mode::Listen);
+                 if (!err.empty()) return err;
+                 uint64_t port = 0;
+                 if (!parseUint(v, &port) || port > 65535) {
+                     return OptionTable::invalidValue(
+                         "--listen", v, "a port in 0..65535");
+                 }
+                 out->port = int(port);
+                 return std::string();
+             });
+    t.custom("--replay", "FILE",
+             "replay a JSON-lines trace with pinned\n"
+             "arrival_us values (deterministic)",
+             [out, set_mode](const std::string &v) {
+                 std::string err = set_mode(ServeCliConfig::Mode::Replay);
+                 if (!err.empty()) return err;
+                 out->replay_path = v;
+                 return std::string();
+             });
+    t.custom("--qps", "N",
+             "open-loop load generator rate (with\n--requests M)",
+             [out, st, set_mode](const std::string &v) {
+                 std::string err = set_mode(ServeCliConfig::Mode::LoadGen);
+                 if (!err.empty()) return err;
+                 if (!parsePositive(v, &out->load.qps, 1000000)) {
+                     return OptionTable::invalidValue(
+                         "--qps", v, "a positive integer <= 1000000");
+                 }
+                 st->has_qps = true;
+                 return std::string();
+             });
+    t.custom("--requests", "M", "load generator request count",
+             [out, st, set_mode](const std::string &v) {
+                 std::string err = set_mode(ServeCliConfig::Mode::LoadGen);
+                 if (!err.empty()) return err;
+                 if (!parsePositive(v, &out->load.requests, 1000000)) {
+                     return OptionTable::invalidValue(
+                         "--requests", v, "a positive integer <= 1000000");
+                 }
+                 st->has_requests = true;
+                 return std::string();
+             });
+    t.str("--trace", "FILE",
+          "load generator: also write the\ngenerated trace",
+          &out->trace_path);
+    t.positiveInt("--jobs", "N",
+                  "wall-clock worker pool size, 1..256\n"
+                  "(default 1; never changes results)",
+                  &out->daemon.num_threads, 256);
+    t.positive("--seed", "N",
+               "base seed for per-request input\nstreams (default 2024)",
+               &out->daemon.base_seed);
+    t.custom("--engine", "MODE", "default tier: cycle | analytic",
+             [out](const std::string &v) {
+                 const std::optional<sim::EngineMode> mode =
+                     sim::parseEngineMode(v);
+                 if (!mode) {
+                     return OptionTable::invalidValue(
+                         "--engine", v, "cycle or analytic");
+                 }
+                 out->daemon.engine = *mode;
+                 return std::string();
+             });
+    t.custom("--vworkers", "N", "identical virtual servers (default 1)",
+             [out, st](const std::string &v) {
+                 uint64_t n = 0;
+                 if (!parsePositive(v, &n, 4096)) {
+                     return OptionTable::invalidValue(
+                         "--vworkers", v, "a positive integer <= 4096");
+                 }
+                 out->daemon.virt.vworkers = int(n);
+                 st->has_vworkers = true;
+                 return std::string();
+             });
+    t.custom("--fleet", "FILE|SPEC",
+             "heterogeneous device fleet: comma-\n"
+             "separated device names (arch-zoo\n"
+             "entries or feather:<COLS>x<ROWS>) or\n"
+             "a file, one device per line",
+             [out, st](const std::string &v) {
+                 std::string err;
+                 if (!parseFleetSpec(v, &out->daemon.fleet, &err)) {
+                     return err;
+                 }
+                 st->has_fleet = true;
+                 return std::string();
+             });
+    t.custom("--place", "POLICY",
+             "fleet placement policy: affinity |\n"
+             "least-loaded | capability\n"
+             "(default least-loaded)",
+             [st](const std::string &v) {
+                 const std::optional<PlacementPolicy> policy =
+                     parsePlacement(v);
+                 if (!policy) {
+                     return OptionTable::invalidValue(
+                         "--place", v,
+                         "affinity, least-loaded or capability");
+                 }
+                 st->place = *policy;
+                 st->has_place = true;
+                 return std::string();
+             });
+    t.rangedInt("--max-queue", "N",
+                "admission: max waiting requests\n(default 64)",
+                &out->daemon.virt.max_queue, 1000000);
+    t.custom("--quota", "P=N",
+             "admission: max waiting requests of\n"
+             "priority P (0..2); repeatable",
+             [out](const std::string &v) {
+                 const size_t eq = v.find('=');
+                 uint64_t prio = 0;
+                 uint64_t quota = 0;
+                 if (eq == std::string::npos ||
+                     !parseUint(v.substr(0, eq), &prio) || prio > 2 ||
+                     !parseUint(v.substr(eq + 1), &quota) ||
+                     quota > 1000000) {
+                     return OptionTable::invalidValue(
+                         "--quota", v,
+                         "P=N with priority P in 0..2 and N in 0..1000000");
+                 }
+                 out->daemon.virt.quota[prio] = int64_t(quota);
+                 return std::string();
+             });
+    t.positive("--clock-mhz", "N",
+               "virtual clock, service_vus =\nceil(cycles/mhz) (default "
+               "1000)",
+               &out->daemon.clock_mhz, 1000000);
+    t.str("--report-csv", "FILE", "write the per-client report as CSV",
+          &out->report_csv);
+    t.str("--report-json", "FILE", "write the full report as JSON",
+          &out->report_json);
+    t.flag("--quiet", "suppress per-request response lines", &out->quiet);
+    t.flag("--help", "this text", &out->help);
+    return t;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -150,40 +326,21 @@ class TcpFrontend
 std::string
 serveUsage()
 {
-    return "usage: feather_serve MODE [OPTIONS]\n"
-           "\n"
-           "modes (exactly one):\n"
-           "  --stdin               JSON-lines requests on stdin until EOF\n"
-           "                        (or a bare `shutdown` line)\n"
-           "  --listen PORT         TCP frontend on 127.0.0.1:PORT (0 =\n"
-           "                        ephemeral, announced on stderr)\n"
-           "  --replay FILE         replay a JSON-lines trace with pinned\n"
-           "                        arrival_us values (deterministic)\n"
-           "  --qps N --requests M  deterministic open-loop load generator\n"
-           "    [--trace FILE]      also write the generated trace\n"
-           "\n"
-           "options:\n"
-           "  --jobs N              wall-clock worker pool size, 1..256\n"
-           "                        (default 1; never changes results)\n"
-           "  --seed N              base seed for per-request input\n"
-           "                        streams (default 2024)\n"
-           "  --engine MODE         default tier: cycle | analytic\n"
-           "  --vworkers N          virtual servers (default 1)\n"
-           "  --max-queue N         admission: max waiting requests\n"
-           "                        (default 64)\n"
-           "  --quota P=N           admission: max waiting requests of\n"
-           "                        priority P (0..2); repeatable\n"
-           "  --clock-mhz N         virtual clock, service_vus =\n"
-           "                        ceil(cycles/mhz) (default 1000)\n"
-           "  --report-csv FILE     write the per-client report as CSV\n"
-           "  --report-json FILE    write the full report as JSON\n"
-           "  --quiet               suppress per-request response lines\n"
-           "  --help                this text\n"
-           "\n"
-           "request lines are flat JSON objects, e.g.\n"
-           "  {\"client\":\"c0\",\"scenario\":\"gemm\",\"priority\":0}\n"
-           "  {\"client\":\"c1\",\"model\":\"bert_mlp\",\"schedule\":"
-           "\"per-layer\"}\n";
+    ServeCliConfig dummy;
+    ParseState st;
+    return strCat(
+        "usage: feather_serve MODE [OPTIONS]\n"
+        "\n"
+        "modes (exactly one): --stdin | --listen PORT | --replay FILE |\n"
+        "--qps N --requests M [--trace FILE]\n"
+        "\n"
+        "flags:\n",
+        serveOptions(&dummy, &st).helpText(),
+        "\n"
+        "request lines are flat JSON objects, e.g.\n"
+        "  {\"client\":\"c0\",\"scenario\":\"gemm\",\"priority\":0}\n"
+        "  {\"client\":\"c1\",\"model\":\"bert_mlp\",\"schedule\":"
+        "\"per-layer\"}\n");
 }
 
 bool
@@ -191,156 +348,16 @@ parseServeCli(const std::vector<std::string> &args, ServeCliConfig *out,
               std::string *error)
 {
     *out = ServeCliConfig();
-    bool has_mode = false;
-    bool has_qps = false;
-    bool has_requests = false;
-
-    const auto setMode = [&](ServeCliConfig::Mode mode) {
-        if (has_mode && out->mode != mode) {
-            *error = "pick exactly one mode: --stdin, --listen, --replay, "
-                     "or --qps/--requests";
-            return false;
-        }
-        out->mode = mode;
-        has_mode = true;
-        return true;
-    };
-
-    for (size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        const auto value = [&](std::string *v) {
-            if (i + 1 >= args.size()) {
-                *error = arg + " needs a value";
-                return false;
-            }
-            *v = args[++i];
-            return true;
-        };
-        // Satellite contract: numeric flags reject non-numeric and <= 0
-        // with a one-line error naming the flag.
-        const auto positive = [&](uint64_t *v, uint64_t max,
-                                  const char *what) {
-            std::string text;
-            if (!value(&text)) return false;
-            if (!parsePositive(text, v, max)) {
-                *error = strCat("invalid value for ", arg, ": '", text,
-                                "' (expected ", what, ")");
-                return false;
-            }
-            return true;
-        };
-
-        uint64_t n = 0;
-        if (arg == "--stdin") {
-            if (!setMode(ServeCliConfig::Mode::Stdin)) return false;
-        } else if (arg == "--listen") {
-            if (!setMode(ServeCliConfig::Mode::Listen)) return false;
-            std::string text;
-            if (!value(&text)) return false;
-            uint64_t port = 0;
-            if (!parseUint(text, &port) || port > 65535) {
-                *error = strCat("invalid value for --listen: '", text,
-                                "' (expected a port in 0..65535)");
-                return false;
-            }
-            out->port = int(port);
-        } else if (arg == "--replay") {
-            if (!setMode(ServeCliConfig::Mode::Replay)) return false;
-            if (!value(&out->replay_path)) return false;
-        } else if (arg == "--qps") {
-            if (!setMode(ServeCliConfig::Mode::LoadGen)) return false;
-            if (!positive(&out->load.qps, 1000000,
-                          "a positive integer <= 1000000")) {
-                return false;
-            }
-            has_qps = true;
-        } else if (arg == "--requests") {
-            if (!setMode(ServeCliConfig::Mode::LoadGen)) return false;
-            if (!positive(&out->load.requests, 1000000,
-                          "a positive integer <= 1000000")) {
-                return false;
-            }
-            has_requests = true;
-        } else if (arg == "--trace") {
-            if (!value(&out->trace_path)) return false;
-        } else if (arg == "--jobs") {
-            if (!positive(&n, 256, "a positive integer <= 256")) {
-                return false;
-            }
-            out->daemon.num_threads = int(n);
-        } else if (arg == "--seed") {
-            if (!positive(&out->daemon.base_seed, UINT64_MAX,
-                          "a positive integer")) {
-                return false;
-            }
-        } else if (arg == "--engine") {
-            std::string text;
-            if (!value(&text)) return false;
-            const std::optional<sim::EngineMode> mode =
-                sim::parseEngineMode(text);
-            if (!mode) {
-                *error = strCat("invalid value for --engine: '", text,
-                                "' (expected cycle or analytic)");
-                return false;
-            }
-            out->daemon.engine = *mode;
-        } else if (arg == "--vworkers") {
-            if (!positive(&n, 4096, "a positive integer <= 4096")) {
-                return false;
-            }
-            out->daemon.virt.vworkers = int(n);
-        } else if (arg == "--max-queue") {
-            std::string text;
-            if (!value(&text)) return false;
-            if (!parseUint(text, &n) || n > 1000000) {
-                *error = strCat("invalid value for --max-queue: '", text,
-                                "' (expected an integer in 0..1000000)");
-                return false;
-            }
-            out->daemon.virt.max_queue = int(n);
-        } else if (arg == "--quota") {
-            std::string text;
-            if (!value(&text)) return false;
-            const size_t eq = text.find('=');
-            uint64_t prio = 0;
-            uint64_t quota = 0;
-            if (eq == std::string::npos ||
-                !parseUint(text.substr(0, eq), &prio) || prio > 2 ||
-                !parseUint(text.substr(eq + 1), &quota) ||
-                quota > 1000000) {
-                *error = strCat("invalid value for --quota: '", text,
-                                "' (expected P=N with priority P in 0..2 "
-                                "and N in 0..1000000)");
-                return false;
-            }
-            out->daemon.virt.quota[prio] = int64_t(quota);
-        } else if (arg == "--clock-mhz") {
-            if (!positive(&out->daemon.clock_mhz, 1000000,
-                          "a positive integer <= 1000000")) {
-                return false;
-            }
-        } else if (arg == "--report-csv") {
-            if (!value(&out->report_csv)) return false;
-        } else if (arg == "--report-json") {
-            if (!value(&out->report_json)) return false;
-        } else if (arg == "--quiet") {
-            out->quiet = true;
-        } else if (arg == "--help" || arg == "-h") {
-            out->help = true;
-        } else {
-            *error = strCat("unknown flag '", arg,
-                            "' (see feather_serve --help)");
-            return false;
-        }
-    }
+    ParseState st;
+    if (!serveOptions(out, &st).parse(args, error)) return false;
     if (out->help) return true;
-    if (!has_mode) {
+    if (!st.has_mode) {
         *error = "pick a mode: --stdin, --listen PORT, --replay FILE, or "
                  "--qps N --requests M";
         return false;
     }
     if (out->mode == ServeCliConfig::Mode::LoadGen &&
-        (!has_qps || !has_requests)) {
+        (!st.has_qps || !st.has_requests)) {
         *error = "the load generator needs both --qps N and --requests M";
         return false;
     }
@@ -350,6 +367,17 @@ parseServeCli(const std::vector<std::string> &args, ServeCliConfig *out,
                  "(--qps/--requests)";
         return false;
     }
+    if (st.has_fleet && st.has_vworkers) {
+        *error = "--fleet and --vworkers are mutually exclusive (the "
+                 "fleet defines the virtual servers)";
+        return false;
+    }
+    if (st.has_place && !st.has_fleet) {
+        *error = "--place needs --fleet (placement applies to a device "
+                 "fleet)";
+        return false;
+    }
+    if (st.has_place) out->daemon.fleet.place = st.place;
     return true;
 }
 

@@ -16,12 +16,16 @@
  *                           add --trace FILE to also write the stream
  *
  * Shared knobs: --jobs N (wall pool, 1..256), --seed N, --engine
- * cycle|analytic, --vworkers N, --max-queue N, --quota P=N (priority P in
+ * cycle|analytic, --vworkers N, --fleet FILE|SPEC (heterogeneous device
+ * fleet; excludes --vworkers), --place affinity|least-loaded|capability
+ * (fleet placement policy), --max-queue N, --quota P=N (priority P in
  * 0..2), --clock-mhz N, --report-csv FILE, --report-json FILE, --quiet
  * (suppress response lines), --help.
  *
- * Flag validation is strict and names the offending flag in one line:
- * numeric flags reject non-numeric and non-positive values (exit 2).
+ * Every flag is declared once in a common OptionTable (common/options.hpp)
+ * shared with feather_cli, so validation is strict and names the
+ * offending flag in one line: numeric flags reject non-numeric and
+ * non-positive values (exit 2).
  * Exit status: 0 = clean run, 1 = some request failed (ERROR/MISMATCH),
  * 2 = usage error.
  */

@@ -8,19 +8,53 @@
 namespace feather {
 namespace daemon {
 
+std::optional<PlacementPolicy>
+parsePlacement(const std::string &name)
+{
+    if (name == "least-loaded") return PlacementPolicy::LeastLoaded;
+    if (name == "capability") return PlacementPolicy::Capability;
+    if (name == "affinity") return PlacementPolicy::Affinity;
+    return std::nullopt;
+}
+
+std::string
+toString(PlacementPolicy p)
+{
+    switch (p) {
+    case PlacementPolicy::LeastLoaded: return "least-loaded";
+    case PlacementPolicy::Capability: return "capability";
+    case PlacementPolicy::Affinity: return "affinity";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+placementNames()
+{
+    return {"affinity", "least-loaded", "capability"};
+}
+
 VirtualScheduler::VirtualScheduler(VirtualConfig cfg, DurationFn duration,
                                    CompletionFn on_finish)
-    : cfg_(cfg), duration_(std::move(duration)),
+    : cfg_(std::move(cfg)), duration_(std::move(duration)),
       on_finish_(std::move(on_finish))
 {
     if (cfg_.vworkers < 1) cfg_.vworkers = 1;
+    dev_.resize(cfg_.devices.size());
+    for (VirtualDevice &d : cfg_.devices) {
+        if (d.capability < 1) d.capability = 1;
+    }
 }
 
 void
-VirtualScheduler::start(size_t index, int64_t start_vus)
+VirtualScheduler::start(size_t index, int64_t start_vus, int device)
 {
-    const int64_t dur = std::max<int64_t>(1, duration_(index));
-    running_.push({start_vus + dur, index, start_vus});
+    int64_t dur = std::max<int64_t>(1, duration_(index, device));
+    if (fleet()) {
+        dev_[size_t(device)].busy = true;
+        if (index < handoff_.size()) dur += handoff_[index];
+    }
+    running_.push({start_vus + dur, index, start_vus, device});
 }
 
 void
@@ -29,16 +63,23 @@ VirtualScheduler::completeOne()
     const Running done = running_.top();
     running_.pop();
     last_finish_ = std::max(last_finish_, done.finish);
-    on_finish_(done.index, done.start, done.finish);
+    on_finish_(done.index, done.device, done.start, done.finish);
     // Hand the freed server to the highest-priority waiter (FIFO within a
     // priority). Starting it at done.finish is time-correct: see the
-    // laziness invariant in the header.
-    for (auto &fifo : waiting_) {
+    // laziness invariant in the header. In fleet mode the server is the
+    // device itself, so only its own waiters are candidates — placement
+    // already happened at arrival and is never revisited.
+    auto &fifos = fleet() ? dev_[size_t(done.device)].waiting : waiting_;
+    if (fleet()) dev_[size_t(done.device)].busy = false;
+    for (int prio = 0; prio < VirtualConfig::kPriorities; ++prio) {
+        auto &fifo = fifos[size_t(prio)];
         if (fifo.empty()) continue;
         const size_t next = fifo.front();
         fifo.pop_front();
         --waiting_total_;
-        start(next, done.finish);
+        --waiting_by_prio_[size_t(prio)];
+        if (fleet()) --dev_[size_t(done.device)].waiting_total;
+        start(next, done.finish, done.device);
         break;
     }
 }
@@ -50,9 +91,81 @@ VirtualScheduler::advanceTo(int64_t t)
 }
 
 bool
+VirtualScheduler::admitWaiter(int priority, std::string *reject_reason)
+{
+    if (cfg_.max_queue >= 0 && int(waiting_total_) >= cfg_.max_queue) {
+        *reject_reason = strCat("queue full (", waiting_total_,
+                                " waiting, max-queue ", cfg_.max_queue, ")");
+        return false;
+    }
+    const int64_t quota = cfg_.quota[size_t(priority)];
+    if (quota >= 0 && waiting_by_prio_[size_t(priority)] >= quota) {
+        *reject_reason = strCat("priority-", priority, " quota reached (",
+                                waiting_by_prio_[size_t(priority)],
+                                " waiting, quota ", quota, ")");
+        return false;
+    }
+    return true;
+}
+
+int
+VirtualScheduler::place(const ArrivalHints &hints) const
+{
+    const auto eligible = [&](size_t d) {
+        return hints.eligible.empty() || hints.eligible[d] != 0;
+    };
+    const auto load = [&](size_t d) {
+        return int64_t(dev_[d].waiting_total) + (dev_[d].busy ? 1 : 0);
+    };
+
+    int best = -1;
+    for (size_t d = 0; d < dev_.size(); ++d) {
+        if (!eligible(d)) continue;
+        if (best < 0) {
+            best = int(d);
+            continue;
+        }
+        const size_t b = size_t(best);
+        bool wins = false;
+        switch (cfg_.place) {
+        case PlacementPolicy::LeastLoaded:
+            wins = load(d) < load(b);
+            break;
+        case PlacementPolicy::Capability: {
+            // Minimize (load + 1) / capability without division; ties go
+            // to the bigger device, then the lower index.
+            const int64_t lhs =
+                (load(d) + 1) * cfg_.devices[b].capability;
+            const int64_t rhs =
+                (load(b) + 1) * cfg_.devices[d].capability;
+            wins = lhs < rhs ||
+                   (lhs == rhs && cfg_.devices[d].capability >
+                                      cfg_.devices[b].capability);
+            break;
+        }
+        case PlacementPolicy::Affinity: {
+            // Warmest device wins; load breaks score ties so a cold
+            // fleet degrades to least-loaded.
+            const int64_t sd = hints.affinity.empty() ? 0
+                                                      : hints.affinity[d];
+            const int64_t sb = hints.affinity.empty() ? 0
+                                                      : hints.affinity[b];
+            wins = sd > sb || (sd == sb && load(d) < load(b));
+            break;
+        }
+        }
+        if (wins) best = int(d);
+    }
+    FEATHER_CHECK(best >= 0, "no eligible device to place on");
+    return best;
+}
+
+bool
 VirtualScheduler::arrive(size_t index, int64_t arrival_vus, int priority,
                          std::string *reject_reason)
 {
+    FEATHER_CHECK(!fleet(),
+                  "fleet mode arrivals must carry placement hints");
     FEATHER_CHECK(arrival_vus >= last_arrival_,
                   "arrivals must be fed in non-decreasing time order");
     FEATHER_CHECK(priority >= 0 && priority < VirtualConfig::kPriorities,
@@ -63,23 +176,46 @@ VirtualScheduler::arrive(size_t index, int64_t arrival_vus, int priority,
     if (int(running_.size()) < cfg_.vworkers) {
         // waiting_ is necessarily empty here: a server only stays free
         // while nothing waits for it.
-        start(index, arrival_vus);
+        start(index, arrival_vus, -1);
         return true;
     }
-    if (cfg_.max_queue >= 0 && int(waiting_total_) >= cfg_.max_queue) {
-        *reject_reason = strCat("queue full (", waiting_total_,
-                                " waiting, max-queue ", cfg_.max_queue, ")");
-        return false;
-    }
-    const int64_t quota = cfg_.quota[size_t(priority)];
-    if (quota >= 0 && int64_t(waiting_[size_t(priority)].size()) >= quota) {
-        *reject_reason = strCat("priority-", priority, " quota reached (",
-                                waiting_[size_t(priority)].size(),
-                                " waiting, quota ", quota, ")");
-        return false;
-    }
+    if (!admitWaiter(priority, reject_reason)) return false;
     waiting_[size_t(priority)].push_back(index);
     ++waiting_total_;
+    ++waiting_by_prio_[size_t(priority)];
+    return true;
+}
+
+bool
+VirtualScheduler::arrive(size_t index, int64_t arrival_vus, int priority,
+                         const ArrivalHints &hints,
+                         std::string *reject_reason, int *placed_device)
+{
+    FEATHER_CHECK(fleet(), "placement hints need a fleet configuration");
+    FEATHER_CHECK(arrival_vus >= last_arrival_,
+                  "arrivals must be fed in non-decreasing time order");
+    FEATHER_CHECK(priority >= 0 && priority < VirtualConfig::kPriorities,
+                  "priority out of range");
+    last_arrival_ = arrival_vus;
+    advanceTo(arrival_vus);
+
+    const int device = place(hints);
+    if (index >= handoff_.size()) handoff_.resize(index + 1, 0);
+    handoff_[index] =
+        hints.handoff_vus.empty() ? 0 : hints.handoff_vus[size_t(device)];
+
+    DeviceState &ds = dev_[size_t(device)];
+    if (!ds.busy) {
+        start(index, arrival_vus, device);
+        if (placed_device) *placed_device = device;
+        return true;
+    }
+    if (!admitWaiter(priority, reject_reason)) return false;
+    ds.waiting[size_t(priority)].push_back(index);
+    ++ds.waiting_total;
+    ++waiting_total_;
+    ++waiting_by_prio_[size_t(priority)];
+    if (placed_device) *placed_device = device;
     return true;
 }
 

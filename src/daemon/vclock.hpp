@@ -2,21 +2,33 @@
 
 /**
  * @file
- * Virtual-time admission and service scheduler for the serving daemon.
+ * Virtual-time admission, placement and service scheduler for the serving
+ * daemon.
  *
  * The daemon separates *what the serving system would do* from *how fast
  * this host computes it*. All externally-visible serving behavior —
- * admission decisions, queueing, per-request latencies, percentiles — is
- * decided here, in virtual microseconds, by a discrete-event simulation of
- * a fixed pool of `vworkers` servers. Actual simulation work runs
- * speculatively on the wall-clock thread pool; the DES only consumes each
- * request's (deterministic) service duration. The result: reports are
- * bit-identical at any `--jobs N`, while execution still fans out.
+ * admission decisions, placement, queueing, per-request latencies,
+ * percentiles — is decided here, in virtual microseconds, by a
+ * discrete-event simulation. Actual simulation work runs speculatively on
+ * the wall-clock thread pool; the DES only consumes each request's
+ * (deterministic) service duration. The result: reports are bit-identical
+ * at any `--jobs N`, while execution still fans out.
+ *
+ * Two serving topologies:
+ *   - homogeneous (cfg.devices empty): `vworkers` identical servers
+ *     draining shared per-priority FIFOs — the classic --vworkers N.
+ *   - fleet (cfg.devices non-empty): one virtual server per named device,
+ *     each with its own per-priority FIFOs. Every arrival is *placed* on
+ *     one device by the configured PlacementPolicy, using only virtual
+ *     state (queue depths, device capabilities, caller-supplied affinity
+ *     scores) — so placement, too, is deterministic at any pool size.
+ *     Cross-device hand-off premiums (priced by the caller via
+ *     model::handoffCost) are added to the placed request's service time.
  *
  * Event processing is *lazy*: arrivals are fed in non-decreasing virtual
  * time order, and a completion is only materialized when a later arrival
  * (or the final drain) advances time past it. Starting a waiting request
- * on a freed worker at the worker's finish time f is time-correct because
+ * on a freed server at the server's finish time f is time-correct because
  * of an invariant of this laziness: every request still waiting arrived
  * before f (had it arrived after, its own arrival processing would have
  * materialized the f-completion first).
@@ -30,6 +42,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -37,31 +50,73 @@
 namespace feather {
 namespace daemon {
 
+/** How a fleet routes each arrival to a device. */
+enum class PlacementPolicy : uint8_t {
+    LeastLoaded, ///< shortest virtual queue (waiting + in service)
+    Capability,  ///< queue depth weighted by device capability
+    Affinity,    ///< plan-cache affinity; least-loaded among ties
+};
+
+std::optional<PlacementPolicy> parsePlacement(const std::string &name);
+std::string toString(PlacementPolicy p);
+std::vector<std::string> placementNames();
+
+/** One virtual server of a heterogeneous fleet. */
+struct VirtualDevice
+{
+    std::string name;
+    /** Relative placement weight of the Capability policy (PE count). */
+    int64_t capability = 1;
+};
+
 /** Admission/service knobs of the virtual serving system. */
 struct VirtualConfig
 {
     static constexpr int kPriorities = 3;
 
-    /** Virtual servers: requests in service concurrently (not --jobs). */
+    /** Virtual servers: requests in service concurrently (not --jobs).
+     *  Ignored in fleet mode (each device is one server). */
     int vworkers = 1;
-    /** Max requests waiting (not in service); < 0 = unbounded. */
+    /** Max requests waiting (not in service), fleet-wide; < 0 =
+     *  unbounded. */
     int max_queue = 64;
     /** Per-priority bound on waiting requests; -1 = unbounded. */
     std::array<int64_t, kPriorities> quota = {-1, -1, -1};
+    /** Non-empty = fleet mode: one server per device, per-device FIFOs,
+     *  arrivals placed by `place`. */
+    std::vector<VirtualDevice> devices;
+    PlacementPolicy place = PlacementPolicy::LeastLoaded;
 };
 
-/** Deterministic DES over arrivals, admission, queueing and service. */
+/** Per-arrival placement inputs, computed by the caller on the DES
+ *  thread (fleet mode only). Vectors are indexed by device; empty means
+ *  "no constraint / all zero". */
+struct ArrivalHints
+{
+    /** Devices this request can run on (feasible mapping at the device's
+     *  array shape); empty = all. */
+    std::vector<uint8_t> eligible;
+    /** Plan-affinity score per device (Affinity policy input). */
+    std::vector<int64_t> affinity;
+    /** Hand-off premium in virtual microseconds, added to the service
+     *  time when placed on that device (0 on the previous device). */
+    std::vector<int64_t> handoff_vus;
+};
+
+/** Deterministic DES over arrivals, admission, placement and service. */
 class VirtualScheduler
 {
   public:
-    /** Virtual service duration of request @p index, in microseconds;
-     *  called once per started request, may block. */
-    using DurationFn = std::function<int64_t(size_t index)>;
+    /** Virtual service duration of request @p index on @p device (-1 in
+     *  homogeneous mode), in microseconds; called once per started
+     *  request, may block. */
+    using DurationFn = std::function<int64_t(size_t index, int device)>;
 
-    /** Completion callback: request @p index started at @p start_vus and
-     *  finished at @p finish_vus. Called in deterministic event order. */
-    using CompletionFn = std::function<void(size_t index, int64_t start_vus,
-                                            int64_t finish_vus)>;
+    /** Completion callback: request @p index ran on @p device (-1 in
+     *  homogeneous mode), started at @p start_vus and finished at
+     *  @p finish_vus. Called in deterministic event order. */
+    using CompletionFn = std::function<void(
+        size_t index, int device, int64_t start_vus, int64_t finish_vus)>;
 
     VirtualScheduler(VirtualConfig cfg, DurationFn duration,
                      CompletionFn on_finish);
@@ -72,10 +127,18 @@ class VirtualScheduler
      * time first, then decides admission: true = accepted (in service or
      * waiting), false = rejected with @p reject_reason set. A request is
      * only queued — and thus only subject to the depth/quota bounds —
-     * when every virtual server is busy.
+     * when every server it may use is busy.
+     *
+     * Fleet mode must use the overload taking ArrivalHints; it reports
+     * the chosen device in @p placed_device (untouched on rejection).
+     * Placement happens before the admission bounds are checked, so a
+     * rejected request still never occupies its would-be device.
      */
     bool arrive(size_t index, int64_t arrival_vus, int priority,
                 std::string *reject_reason);
+    bool arrive(size_t index, int64_t arrival_vus, int priority,
+                const ArrivalHints &hints, std::string *reject_reason,
+                int *placed_device = nullptr);
 
     /** Run every accepted request to completion. */
     void drain();
@@ -83,12 +146,16 @@ class VirtualScheduler
     /** Finish time of the latest completed request. */
     int64_t lastFinish() const { return last_finish_; }
 
+    bool fleet() const { return !cfg_.devices.empty(); }
+    size_t numDevices() const { return cfg_.devices.size(); }
+
   private:
     struct Running
     {
         int64_t finish = 0;
         size_t index = 0;
         int64_t start = 0;
+        int device = -1;
 
         /** Min-heap order: earliest finish first, ties by index. */
         bool
@@ -98,21 +165,43 @@ class VirtualScheduler
         }
     };
 
+    /** One device's private server + FIFOs (fleet mode). */
+    struct DeviceState
+    {
+        bool busy = false;
+        std::array<std::deque<size_t>, VirtualConfig::kPriorities> waiting;
+        size_t waiting_total = 0;
+    };
+
     /** Materialize every completion with finish <= @p t. */
     void advanceTo(int64_t t);
 
     /** Pop the earliest completion; hand its server to a waiter. */
     void completeOne();
 
-    void start(size_t index, int64_t start_vus);
+    void start(size_t index, int64_t start_vus, int device);
+
+    /** The placement decision: pick among eligible devices by policy. */
+    int place(const ArrivalHints &hints) const;
+
+    /** Shared admission bounds (depth + quota), fleet-wide. */
+    bool admitWaiter(int priority, std::string *reject_reason);
 
     VirtualConfig cfg_;
     DurationFn duration_;
     CompletionFn on_finish_;
     std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
         running_;
+    /** Homogeneous mode: shared FIFOs across the vworkers. */
     std::array<std::deque<size_t>, VirtualConfig::kPriorities> waiting_;
+    /** Fleet mode: per-device servers and FIFOs. */
+    std::vector<DeviceState> dev_;
+    /** Hand-off premium charged to each placed request (fleet mode),
+     *  indexed by request index. */
+    std::vector<int64_t> handoff_;
     size_t waiting_total_ = 0;
+    std::array<int64_t, VirtualConfig::kPriorities> waiting_by_prio_ = {
+        0, 0, 0};
     int64_t last_arrival_ = 0;
     int64_t last_finish_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/io.hpp"
+#include "common/options.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 #include "model/report.hpp"
@@ -28,80 +29,44 @@ parseModelCli(const std::vector<std::string> &args)
 {
     ModelCliParse parse;
     ModelCliOptions &o = parse.opts;
-    for (size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        const auto value = [&](std::string *out) {
-            if (i + 1 >= args.size()) {
-                parse.error = arg + " needs a value";
-                return false;
-            }
-            *out = args[++i];
-            return true;
-        };
-        const auto uintValue = [&](uint64_t *out) {
-            std::string text;
-            if (!value(&text)) return false;
-            if (!parseUint(text, out)) {
-                parse.error = arg + " needs a non-negative integer, got '" +
-                              text + "'";
-                return false;
-            }
-            return true;
-        };
-
-        uint64_t n = 0;
-        if (arg == "--model") {
-            if (!value(&o.model)) return parse;
-        } else if (arg == "--schedule") {
-            if (!value(&o.schedule)) return parse;
-        } else if (arg == "--aw" || arg == "--ah") {
-            if (!uintValue(&n)) return parse;
-            if (n < 1 || n > 65536) {
-                parse.error = arg + " must be in [1, 65536], got " +
-                              std::to_string(n);
-                return parse;
-            }
-            (arg == "--aw" ? o.aw : o.ah) = int(n);
-        } else if (arg == "--seed") {
-            if (!uintValue(&o.seed)) return parse;
-        } else if (arg == "--jobs") {
-            if (!uintValue(&n)) return parse;
-            if (n < 1 || n > 256) {
-                parse.error = "--jobs must be in [1, 256], got " +
-                              std::to_string(n);
-                return parse;
-            }
-            o.jobs = int(n);
-        } else if (arg == "--engine") {
-            std::string text;
-            if (!value(&text)) return parse;
-            const std::optional<sim::EngineMode> mode =
-                sim::parseEngineMode(text);
-            if (!mode) {
-                parse.error = "unknown engine '" + text + "'; known:";
-                for (const std::string &m : sim::engineModeNames()) {
-                    parse.error += " " + m;
-                }
-                return parse;
-            }
-            o.engine = *mode;
-        } else if (arg == "--report-csv") {
-            if (!value(&o.report_csv)) return parse;
-        } else if (arg == "--report-json") {
-            if (!value(&o.report_json)) return parse;
-        } else if (arg == "--list-models") {
-            o.list_models = true;
-        } else if (arg == "--help" || arg == "-h") {
-            o.help = true;
-        } else {
-            parse.error = "unknown flag '" + arg +
-                          "' in model mode (--model runs accept "
-                          "--schedule, --aw, --ah, --seed, --jobs, "
-                          "--engine, --report-csv, --report-json)";
-            return parse;
-        }
-    }
-    if (!parse.ok()) return parse;
+    OptionTable t;
+    t.unknownSuffix(" in model mode (--model runs accept --schedule, "
+                    "--aw, --ah, --seed, --jobs, --engine, --report-csv, "
+                    "--report-json)");
+    t.str("--model", "NAME|FILE",
+          "schedule a built-in model graph or a model\nfile", &o.model);
+    t.str("--schedule", "S",
+          "per-layer, greedy, or fixed:<ws|cp|wp>\n(default: per-layer)",
+          &o.schedule);
+    t.positiveInt("--aw", "N", "array width (default: model's)", &o.aw,
+                  65536);
+    t.positiveInt("--ah", "N", "array height (default: model's)", &o.ah,
+                  65536);
+    t.nonNegative("--seed", "N", "RNG seed for inputs (default: 2024)",
+                  &o.seed);
+    t.positiveInt("--jobs", "N", "candidate-evaluation worker threads",
+                  &o.jobs, 256);
+    t.custom("--engine", "MODE",
+             "candidate-evaluation tier; the final chosen\n"
+             "schedule is always measured cycle-accurately",
+             [&o](const std::string &v) {
+                 const std::optional<sim::EngineMode> mode =
+                     sim::parseEngineMode(v);
+                 if (!mode) {
+                     return OptionTable::invalidValue(
+                         "--engine", v, "cycle or analytic");
+                 }
+                 o.engine = *mode;
+                 return std::string();
+             });
+    t.str("--report-csv", "F", "write the schedule report as CSV to F",
+          &o.report_csv);
+    t.str("--report-json", "F",
+          "write the schedule report as JSON to F", &o.report_json);
+    t.flag("--list-models", "list the built-in model graphs and exit",
+           &o.list_models);
+    t.flag("--help", "show this text", &o.help);
+    if (!t.parse(args, &parse.error)) return parse;
     if (!o.help && !o.list_models && o.model.empty()) {
         parse.error = "model mode needs --model NAME|FILE "
                       "(see --list-models)";

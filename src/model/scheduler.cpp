@@ -76,6 +76,22 @@ reorderCost(const Layout &src, const Layout &dst, const Extents &extents)
     return cycles;
 }
 
+int64_t
+handoffCost(bool same_device, const Layout &src, const Layout &dst,
+            const Extents &extents, int64_t elem_bytes,
+            const InterChipLink &link)
+{
+    if (same_device) return 0;
+    int64_t elements = 1;
+    for (int d = 0; d < kNumDims; ++d) {
+        if (extents[Dim(d)] > 0) elements *= extents[Dim(d)];
+    }
+    const int64_t bytes = elements * std::max<int64_t>(1, elem_bytes);
+    const int64_t bpc = std::max<int64_t>(1, link.bytes_per_cycle);
+    const int64_t transfer = (bytes + bpc - 1) / bpc;
+    return reorderCost(src, dst, extents) + transfer;
+}
+
 std::optional<SchedulePolicy>
 parseSchedule(const std::string &name, std::string *error)
 {

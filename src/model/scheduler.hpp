@@ -60,6 +60,26 @@ namespace model {
 int64_t reorderCost(const Layout &src, const Layout &dst,
                     const Extents &extents);
 
+/** Chip-to-chip link model for cross-device hand-offs in a simulated
+ *  fleet (the serving daemon's --fleet mode). */
+struct InterChipLink
+{
+    /** Payload bytes the link moves per cycle (per-byte transfer term). */
+    int64_t bytes_per_cycle = 16;
+};
+
+/**
+ * Cycles to hand a tensor of @p extents (elements of @p elem_bytes each,
+ * resident under layout @p src) over to a device whose consumer wants
+ * layout @p dst: zero when @p same_device (the on-chip StaB ping-pong
+ * hand-off is free — the paper's headline), else the BIRRD
+ * reorderCost(src, dst, extents) plus the link transfer term
+ * ceil(total_bytes / link.bytes_per_cycle).
+ */
+int64_t handoffCost(bool same_device, const Layout &src, const Layout &dst,
+                    const Extents &extents, int64_t elem_bytes,
+                    const InterChipLink &link);
+
 // ---------------------------------------------------------------------------
 // Schedules
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/io.hpp"
+#include "common/options.hpp"
 #include "common/parse.hpp"
 #include "serve/engine.hpp"
 #include "sim/cli.hpp"
@@ -29,70 +30,38 @@ parseBatchCli(const std::vector<std::string> &args)
 {
     BatchCliParse parse;
     BatchCliOptions &o = parse.opts;
-    for (size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        const auto value = [&](std::string *out) {
-            if (i + 1 >= args.size()) {
-                parse.error = arg + " needs a value";
-                return false;
-            }
-            *out = args[++i];
-            return true;
-        };
-        const auto uintValue = [&](uint64_t *out) {
-            std::string text;
-            if (!value(&text)) return false;
-            if (!parseUint(text, out)) {
-                parse.error = arg + " needs a non-negative integer, got '" +
-                              text + "'";
-                return false;
-            }
-            return true;
-        };
-
-        uint64_t n = 0;
-        if (arg == "--batch") {
-            if (!value(&o.batch_file)) return parse;
-        } else if (arg == "--sweep") {
-            if (!value(&o.sweep)) return parse;
-        } else if (arg == "--jobs") {
-            if (!uintValue(&n)) return parse;
-            if (n < 1 || n > 256) {
-                parse.error = "--jobs must be in [1, 256], got " +
-                              std::to_string(n);
-                return parse;
-            }
-            o.jobs = int(n);
-        } else if (arg == "--seed") {
-            if (!uintValue(&o.seed)) return parse;
-        } else if (arg == "--engine") {
-            std::string text;
-            if (!value(&text)) return parse;
-            const std::optional<sim::EngineMode> mode =
-                sim::parseEngineMode(text);
-            if (!mode) {
-                parse.error = "unknown engine '" + text + "'; known:";
-                for (const std::string &m : sim::engineModeNames()) {
-                    parse.error += " " + m;
-                }
-                return parse;
-            }
-            o.engine = *mode;
-        } else if (arg == "--report-csv") {
-            if (!value(&o.report_csv)) return parse;
-        } else if (arg == "--report-json") {
-            if (!value(&o.report_json)) return parse;
-        } else if (arg == "--help" || arg == "-h") {
-            o.help = true;
-        } else {
-            parse.error = "unknown flag '" + arg +
-                          "' in batch mode (--batch/--sweep runs accept "
-                          "--jobs, --seed, --engine, --report-csv, "
-                          "--report-json)";
-            return parse;
-        }
-    }
-    if (!parse.ok()) return parse;
+    OptionTable t;
+    t.unknownSuffix(" in batch mode (--batch/--sweep runs accept --jobs, "
+                    "--seed, --engine, --report-csv, --report-json)");
+    t.str("--batch", "FILE", "run the jobs listed in FILE, one per line",
+          &o.batch_file);
+    t.str("--sweep", "NAME",
+          "run the (dataflow x array-size) grid over a\nscenario",
+          &o.sweep);
+    t.positiveInt("--jobs", "N",
+                  "worker threads (default 1); the report is\n"
+                  "bit-identical for any N",
+                  &o.jobs, 256);
+    t.nonNegative("--seed", "N",
+                  "base seed; job i draws inputs from stream\n(seed, i)",
+                  &o.seed);
+    t.custom("--engine", "MODE", "default tier for jobs that do not pin one",
+             [&o](const std::string &v) {
+                 const std::optional<sim::EngineMode> mode =
+                     sim::parseEngineMode(v);
+                 if (!mode) {
+                     return OptionTable::invalidValue(
+                         "--engine", v, "cycle or analytic");
+                 }
+                 o.engine = *mode;
+                 return std::string();
+             });
+    t.str("--report-csv", "F", "write the per-job report as CSV to F",
+          &o.report_csv);
+    t.str("--report-json", "F", "write the report as single-line JSON to F",
+          &o.report_json);
+    t.flag("--help", "show this text", &o.help);
+    if (!t.parse(args, &parse.error)) return parse;
     if (o.help) return parse;
     if (o.batch_file.empty() == o.sweep.empty()) {
         parse.error = o.batch_file.empty()

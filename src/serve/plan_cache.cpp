@@ -6,30 +6,39 @@ namespace feather {
 namespace serve {
 
 std::string
+PlanCache::scopedKey(const std::string &base, const std::string &scope)
+{
+    return scope.empty() ? base : strCat(base, "|@", scope);
+}
+
+std::string
 PlanCache::key(sim::EngineMode mode, sim::DataflowKind kind,
-               const LayerSpec &layer, int aw, int ah)
+               const LayerSpec &layer, int aw, int ah,
+               const std::string &scope)
 {
     // Shape-only key: two layers with equal shapes plan identically, their
     // names notwithstanding. The engine mode is part of the key so the two
     // tiers never share entries.
     if (layer.type == OpType::Gemm) {
-        return strCat("gemm|", layer.gemm.m, "x", layer.gemm.n, "x",
-                      layer.gemm.k, "|", toString(kind), "|", aw, "x", ah,
-                      "|", toString(mode));
+        return scopedKey(strCat("gemm|", layer.gemm.m, "x", layer.gemm.n,
+                                "x", layer.gemm.k, "|", toString(kind), "|",
+                                aw, "x", ah, "|", toString(mode)),
+                         scope);
     }
     const ConvShape &c = layer.conv;
-    return strCat(toString(layer.type), "|", c.n, ",", c.c, ",", c.h, ",",
-                  c.w, ",", c.m, ",", c.r, ",", c.s, ",s", c.stride, ",p",
-                  c.pad, "|", toString(kind), "|", aw, "x", ah, "|",
-                  toString(mode));
+    return scopedKey(strCat(toString(layer.type), "|", c.n, ",", c.c, ",",
+                            c.h, ",", c.w, ",", c.m, ",", c.r, ",", c.s,
+                            ",s", c.stride, ",p", c.pad, "|", toString(kind),
+                            "|", aw, "x", ah, "|", toString(mode)),
+                     scope);
 }
 
 std::optional<sim::LayerPlan>
 PlanCache::getOrPlan(sim::EngineMode mode, sim::DataflowKind kind,
                      const LayerSpec &layer, int aw, int ah,
-                     std::string *error)
+                     std::string *error, const std::string &scope)
 {
-    const std::string k = key(mode, kind, layer, aw, ah);
+    const std::string k = key(mode, kind, layer, aw, ah, scope);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(k);
     if (it == map_.end()) {
@@ -45,12 +54,12 @@ PlanCache::getOrPlan(sim::EngineMode mode, sim::DataflowKind kind,
 }
 
 sim::PlanFn
-PlanCache::planFn()
+PlanCache::planFn(const std::string &scope)
 {
-    return [this](sim::EngineMode mode, sim::DataflowKind kind,
-                  const LayerSpec &layer, int aw, int ah,
-                  std::string *error) {
-        return getOrPlan(mode, kind, layer, aw, ah, error);
+    return [this, scope](sim::EngineMode mode, sim::DataflowKind kind,
+                         const LayerSpec &layer, int aw, int ah,
+                         std::string *error) {
+        return getOrPlan(mode, kind, layer, aw, ah, error, scope);
     };
 }
 

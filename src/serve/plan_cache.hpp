@@ -50,15 +50,22 @@ class PlanCache
      * @p mode is part of the key: a plan cached by an analytic enumeration
      * pass is never served to a cycle-mode job (and vice versa), so each
      * tier's plans carry the right LayerPlan::engine tag.
+     *
+     * @p scope optionally partitions the key space (e.g. one scope per
+     * simulated device of a fleet, so two devices never share warmth even
+     * when their shapes coincide). "" is the shared global scope and
+     * leaves keys exactly as before.
      */
     std::optional<sim::LayerPlan> getOrPlan(sim::EngineMode mode,
                                             sim::DataflowKind kind,
                                             const LayerSpec &layer, int aw,
                                             int ah,
-                                            std::string *error = nullptr);
+                                            std::string *error = nullptr,
+                                            const std::string &scope = {});
 
-    /** This cache as a sim::PlanFn, for injection into sim::runScenario. */
-    sim::PlanFn planFn();
+    /** This cache as a sim::PlanFn, for injection into sim::runScenario;
+     *  every lookup the returned fn makes carries @p scope. */
+    sim::PlanFn planFn(const std::string &scope = {});
 
     Stats stats() const;
 
@@ -66,7 +73,13 @@ class PlanCache
 
     /** Cache key of one planning point (layer shape, not name). */
     static std::string key(sim::EngineMode mode, sim::DataflowKind kind,
-                           const LayerSpec &layer, int aw, int ah);
+                           const LayerSpec &layer, int aw, int ah,
+                           const std::string &scope = {});
+
+    /** Re-scope an existing base key (the shared "" scope) into @p scope;
+     *  key(..., scope) == scopedKey(key(...), scope). */
+    static std::string scopedKey(const std::string &base,
+                                 const std::string &scope);
 
   private:
     struct Entry

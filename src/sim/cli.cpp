@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "common/options.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 #include "sim/scenario.hpp"
@@ -10,33 +11,78 @@
 namespace feather {
 namespace sim {
 
+namespace {
+
+/** The one declaration of every single-run flag: the parse loop and the
+ *  usage text both derive from this table (common/options.hpp). */
+OptionTable
+simOptions(CliOptions *o)
+{
+    OptionTable t;
+    t.str("--workload", "NAME", "scenario to run (default: quickstart_conv)",
+          &o->workload);
+    t.str("--dataflow", "KIND",
+          "override every layer's dataflow family:\n"
+          "ws|canonical, cp|channel-parallel,\n"
+          "wp|window-parallel (default: per-layer choice)",
+          &o->dataflow);
+    t.str("--layout", "L",
+          "first layer's iAct layout: 'concordant' or a\n"
+          "layout string like HWC_C8 (default: concordant)",
+          &o->layout);
+    // A 64k-PE edge keeps int(n) well-defined and rejects typos like
+    // --aw 4294967296 instead of silently truncating them.
+    t.rangedInt("--aw", "N", "array width (default: scenario's)", &o->aw,
+                65536);
+    t.rangedInt("--ah", "N", "array height (default: scenario's)", &o->ah,
+                65536);
+    t.nonNegative("--seed", "N", "RNG seed for inputs (default: 2024)",
+                  &o->seed);
+    t.custom("--engine", "MODE",
+             "simulation engine tier (default: cycle):\n"
+             "cycle    bit-exact NoC replay, verified against\n"
+             "         the reference operators\n"
+             "analytic closed-form cycle/energy estimates\n"
+             "         from the mapping (no per-element\n"
+             "         replay, nothing to verify)",
+             [o](const std::string &v) {
+                 const std::optional<EngineMode> mode = parseEngineMode(v);
+                 if (!mode) {
+                     return OptionTable::invalidValue(
+                         "--engine", v, "cycle or analytic");
+                 }
+                 o->engine = *mode;
+                 return std::string();
+             });
+    t.custom("--trace", "N", "print the first N StaB read/write events",
+             [o](const std::string &v) {
+                 uint64_t n = 0;
+                 if (!parseUint(v, &n)) {
+                     return OptionTable::invalidValue(
+                         "--trace", v, "a non-negative integer");
+                 }
+                 o->trace = size_t(n);
+                 return std::string();
+             });
+    t.flag("--list", "list the registered scenarios and exit", &o->list);
+    t.flag("--help", "show this text", &o->help);
+    return t;
+}
+
+} // namespace
+
 std::string
 usage()
 {
+    CliOptions dummy;
     std::string text =
         "usage: feather_cli [options]\n"
         "\n"
         "Run a named workload scenario on the FEATHER cycle-level simulator\n"
         "and verify the result bit-exactly against the reference operators.\n"
         "\n"
-        "options:\n"
-        "  --workload NAME   scenario to run (default: quickstart_conv)\n"
-        "  --dataflow KIND   override every layer's dataflow family:\n"
-        "                    ws|canonical, cp|channel-parallel,\n"
-        "                    wp|window-parallel (default: per-layer choice)\n"
-        "  --layout L        first layer's iAct layout: 'concordant' or a\n"
-        "                    layout string like HWC_C8 (default: concordant)\n"
-        "  --aw N, --ah N    array width/height (default: scenario's)\n"
-        "  --seed N          RNG seed for inputs (default: 2024)\n"
-        "  --engine MODE     simulation engine tier (default: cycle):\n"
-        "                    cycle    bit-exact NoC replay, verified against\n"
-        "                             the reference operators\n"
-        "                    analytic closed-form cycle/energy estimates\n"
-        "                             from the mapping (no per-element\n"
-        "                             replay, nothing to verify)\n"
-        "  --trace N         print the first N StaB read/write events\n"
-        "  --list            list the registered scenarios and exit\n"
-        "  --help            show this text\n"
+        "options:\n" +
+        simOptions(&dummy).helpText() +
         "\n"
         "batch mode (multi-threaded serve engine; see src/serve):\n"
         "  --sweep NAME      run the (dataflow x array-size) grid over a\n"
@@ -84,81 +130,7 @@ CliParse
 parseCli(const std::vector<std::string> &args)
 {
     CliParse parse;
-    CliOptions &o = parse.opts;
-    for (size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        const auto value = [&](std::string *out) {
-            if (i + 1 >= args.size()) {
-                parse.error = arg + " needs a value";
-                return false;
-            }
-            *out = args[++i];
-            return true;
-        };
-        const auto uintValue = [&](uint64_t *out) {
-            std::string text;
-            if (!value(&text)) return false;
-            if (!parseUint(text, out)) {
-                parse.error = arg + " needs a non-negative integer, got '" +
-                              text + "'";
-                return false;
-            }
-            return true;
-        };
-
-        // A 64k-PE edge keeps int(n) well-defined and rejects typos like
-        // --aw 4294967296 instead of silently truncating them.
-        constexpr uint64_t kMaxArrayDim = 65536;
-        const auto dimValue = [&](int *out) {
-            uint64_t n = 0;
-            if (!uintValue(&n)) return false;
-            if (n > kMaxArrayDim) {
-                parse.error = arg + " must be <= " +
-                              std::to_string(kMaxArrayDim) + ", got " +
-                              std::to_string(n);
-                return false;
-            }
-            *out = int(n);
-            return true;
-        };
-
-        uint64_t n = 0;
-        if (arg == "--workload") {
-            if (!value(&o.workload)) return parse;
-        } else if (arg == "--dataflow") {
-            if (!value(&o.dataflow)) return parse;
-        } else if (arg == "--layout") {
-            if (!value(&o.layout)) return parse;
-        } else if (arg == "--aw") {
-            if (!dimValue(&o.aw)) return parse;
-        } else if (arg == "--ah") {
-            if (!dimValue(&o.ah)) return parse;
-        } else if (arg == "--seed") {
-            if (!uintValue(&o.seed)) return parse;
-        } else if (arg == "--engine") {
-            std::string text;
-            if (!value(&text)) return parse;
-            const std::optional<EngineMode> mode = parseEngineMode(text);
-            if (!mode) {
-                parse.error = "unknown engine '" + text + "'; known:";
-                for (const std::string &m : engineModeNames()) {
-                    parse.error += " " + m;
-                }
-                return parse;
-            }
-            o.engine = *mode;
-        } else if (arg == "--trace") {
-            if (!uintValue(&n)) return parse;
-            o.trace = size_t(n);
-        } else if (arg == "--list") {
-            o.list = true;
-        } else if (arg == "--help" || arg == "-h") {
-            o.help = true;
-        } else {
-            parse.error = "unknown flag '" + arg + "'";
-            return parse;
-        }
-    }
+    simOptions(&parse.opts).parse(args, &parse.error);
     return parse;
 }
 

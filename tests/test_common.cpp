@@ -14,6 +14,7 @@
 #include "common/histogram.hpp"
 #include "common/json_min.hpp"
 #include "common/log.hpp"
+#include "common/options.hpp"
 #include "common/parse.hpp"
 #include "common/report_norm.hpp"
 #include "common/rng.hpp"
@@ -470,6 +471,130 @@ TEST(ReportNorm, AutoFormatDetection)
     EXPECT_EQ(zeroWallReport("a,sim_wall_us\nx,3\n"), "a,sim_wall_us\nx,0\n");
     EXPECT_EQ(zeroWallReport("a,sim_wall_us\nx,3\n", "csv"),
               "a,sim_wall_us\nx,0\n");
+}
+
+// ---------------------------------------------------------------------------
+// OptionTable (the declarative CLI flag table shared by every binary)
+// ---------------------------------------------------------------------------
+
+TEST(Options, ParsesEveryBuilderKind)
+{
+    bool verbose = false;
+    std::string name;
+    uint64_t count = 0;
+    int width = 0;
+    uint64_t level = 99;
+    std::string custom;
+    OptionTable t;
+    t.flag("--verbose", "say more", &verbose);
+    t.str("--name", "S", "a string", &name);
+    t.positive("--count", "N", "a count", &count);
+    t.positiveInt("--width", "N", "a width", &width, 64);
+    t.ranged("--level", "N", "a level", &level, 2);
+    t.custom("--mode", "M", "a mode", [&custom](const std::string &v) {
+        if (v != "fast" && v != "slow") {
+            return OptionTable::invalidValue("--mode", v, "fast or slow");
+        }
+        custom = v;
+        return std::string();
+    });
+    std::string error;
+    ASSERT_TRUE(t.parse({"--verbose", "--name", "x", "--count", "7",
+                         "--width", "32", "--level", "2", "--mode", "slow"},
+                        &error))
+        << error;
+    EXPECT_TRUE(verbose);
+    EXPECT_EQ(name, "x");
+    EXPECT_EQ(count, 7u);
+    EXPECT_EQ(width, 32);
+    EXPECT_EQ(level, 2u);
+    EXPECT_EQ(custom, "slow");
+}
+
+TEST(Options, ErrorsNameTheFlagAndTheExpectation)
+{
+    uint64_t count = 0;
+    int width = 0;
+    uint64_t level = 0;
+    uint64_t seed = 0;
+    OptionTable t;
+    t.positive("--count", "N", "", &count);
+    t.positiveInt("--width", "N", "", &width, 64);
+    t.ranged("--level", "N", "", &level, 2);
+    t.nonNegative("--seed", "N", "", &seed);
+
+    struct Case
+    {
+        std::vector<std::string> args;
+        const char *expect;
+    };
+    const Case cases[] = {
+        {{"--count", "0"}, "invalid value for --count: '0' (expected a "
+                           "positive integer)"},
+        {{"--count", "abc"}, "invalid value for --count: 'abc' (expected "
+                             "a positive integer)"},
+        {{"--width", "65"},
+         "invalid value for --width: '65' (expected a positive integer "
+         "<= 64)"},
+        {{"--level", "3"},
+         "invalid value for --level: '3' (expected an integer in 0..2)"},
+        {{"--seed", "-1"},
+         "invalid value for --seed: '-1' (expected a non-negative "
+         "integer)"},
+        {{"--count"}, "--count needs a value"},
+    };
+    for (const Case &c : cases) {
+        std::string error;
+        EXPECT_FALSE(t.parse(c.args, &error)) << c.args[0];
+        EXPECT_EQ(error, c.expect);
+    }
+}
+
+TEST(Options, UnknownFlagsCarryTheConfiguredSuffix)
+{
+    OptionTable t;
+    t.unknownSuffix(" (see tool --help)");
+    std::string error;
+    EXPECT_FALSE(t.parse({"--bogus"}, &error));
+    EXPECT_EQ(error, "unknown flag '--bogus' (see tool --help)");
+
+    OptionTable bare;
+    EXPECT_FALSE(bare.parse({"--bogus"}, &error));
+    EXPECT_EQ(error, "unknown flag '--bogus'");
+}
+
+TEST(Options, ShortHelpAliasMapsToHelp)
+{
+    bool help = false;
+    OptionTable t;
+    t.flag("--help", "show this text", &help);
+    std::string error;
+    ASSERT_TRUE(t.parse({"-h"}, &error)) << error;
+    EXPECT_TRUE(help);
+}
+
+TEST(Options, HelpTextAlignsFlagsAndContinuationLines)
+{
+    bool flag = false;
+    std::string value;
+    OptionTable t;
+    t.flag("--quiet", "suppress chatter", &flag);
+    t.str("--workload", "NAME", "first line\nsecond line", &value);
+    const std::string help = t.helpText();
+    EXPECT_EQ(help,
+              "  --quiet               suppress chatter\n"
+              "  --workload NAME       first line\n"
+              "                        second line\n");
+}
+
+TEST(Options, LaterOccurrencesOverrideEarlierOnes)
+{
+    std::string name;
+    OptionTable t;
+    t.str("--name", "S", "", &name);
+    std::string error;
+    ASSERT_TRUE(t.parse({"--name", "a", "--name", "b"}, &error)) << error;
+    EXPECT_EQ(name, "b") << "last occurrence wins, like getopt";
 }
 
 } // namespace

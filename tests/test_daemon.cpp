@@ -181,8 +181,8 @@ struct DesHarness
     std::vector<std::string> rejected; ///< "" = accepted
 
     explicit DesHarness(VirtualConfig cfg)
-        : vs(cfg, [this](size_t i) { return durations[i]; },
-             [this](size_t i, int64_t s, int64_t f) {
+        : vs(cfg, [this](size_t i, int) { return durations[i]; },
+             [this](size_t i, int, int64_t s, int64_t f) {
                  completions.push_back({i, s, f});
              })
     {
@@ -742,7 +742,11 @@ TEST(ServeCli, NumericFlagsRejectJunkNamingTheFlag)
         {{"--stdin", "--max-queue", "-1"}, "--max-queue"},
         {{"--stdin", "--clock-mhz", "0"}, "--clock-mhz"},
         {{"--stdin", "--quota", "3=1"}, "--quota"},
+        {{"--stdin", "--quota", "5=1"}, "--quota"},
+        {{"--stdin", "--quota", "9=4"}, "--quota"},
+        {{"--stdin", "--quota", "-1=2"}, "--quota"},
         {{"--stdin", "--quota", "1:2"}, "--quota"},
+        {{"--stdin", "--quota", "1="}, "--quota"},
         {{"--listen", "65536"}, "--listen"},
     };
     for (const Case &c : cases) {
