@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation / microbenchmark: whole-graph pipeline scheduling over the
+ * heterogeneous fleet (google-benchmark).
+ *
+ * Runs the (layer, device, candidate) DP for each built-in model over
+ * the canonical three-device CI fleet (feather:16x16, feather:32x32,
+ * tpu-like), analytic candidate tier. Wall time per schedule is the
+ * reported figure; the deterministic DP counters are the CI contract:
+ *
+ * Gated deterministic counters (per model):
+ *   - est_total      DP objective (estimated cycles incl. hand-offs)
+ *   - search_nodes   (layer, device, candidate) states the DP relaxed
+ *   - handoffs       cross-device edges in the chosen schedule
+ *   - handoff_cycles summed handoffCost of those edges
+ *
+ * A drop in search_nodes means the DP stopped exploring part of the
+ * placement space; a change in handoffs/est_total means the chosen
+ * pipeline split moved. Either must be a deliberate decision, not an
+ * accident.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "model/fleet.hpp"
+#include "model/graph.hpp"
+#include "model/scheduler.hpp"
+
+using namespace feather;
+
+namespace {
+
+constexpr const char *kFleet = "feather:16x16,feather:32x32,tpu-like";
+
+/** One DP solve of @p model_name over the CI fleet per iteration. */
+void
+BM_GraphPipeline(benchmark::State &state, const char *model_name)
+{
+    const model::ModelGraph *graph = model::findModel(model_name);
+    if (graph == nullptr) {
+        state.SkipWithError("unknown built-in model");
+        return;
+    }
+    std::string error;
+    model::SchedulerOptions opts;
+    opts.engine = sim::EngineMode::Analytic;
+    if (!model::parseFleetSpec(kFleet, &opts.fleet, &error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    const std::optional<model::SchedulePolicy> policy =
+        model::parseSchedule("per-layer", &error);
+    if (!policy) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+
+    model::ScheduleResult result;
+    for (auto _ : state) {
+        model::Scheduler scheduler(opts); // fresh plan cache: full search
+        const std::optional<model::Evaluation> eval =
+            scheduler.evaluate(*graph, &error);
+        if (!eval) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        const std::optional<model::ScheduleResult> r =
+            scheduler.schedule(*graph, *eval, *policy, &error);
+        if (!r) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        result = *r;
+        benchmark::DoNotOptimize(result.est_total);
+    }
+    state.counters["est_total"] = double(result.est_total);
+    state.counters["search_nodes"] = double(result.search_nodes);
+    state.counters["handoffs"] = double(result.handoffs);
+    state.counters["handoff_cycles"] = double(result.handoff_cycles);
+}
+
+BENCHMARK_CAPTURE(BM_GraphPipeline, resnet_block, "resnet_block")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GraphPipeline, mobilenet_slice, "mobilenet_slice")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GraphPipeline, bert_mlp, "bert_mlp")
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -35,7 +35,7 @@ main()
     std::string error;
     const auto cmp = scheduler.compare(
         *graph, model::SchedulePolicy{model::ScheduleKind::PerLayer,
-                                      sim::DataflowKind::Canonical},
+                                      sim::DataflowKind::Canonical, {}},
         &error);
     if (!cmp) {
         std::fprintf(stderr, "scheduling failed: %s\n", error.c_str());

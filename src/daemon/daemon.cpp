@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -25,9 +26,6 @@ constexpr sim::DataflowKind kModelFamilies[] = {
     sim::DataflowKind::ChannelParallel,
     sim::DataflowKind::WindowParallel,
 };
-
-/** Element width the hand-off transfer term is priced at. */
-constexpr int64_t kHandoffElemBytes = 1;
 
 std::string
 reasonLine(const Request &req, const char *status, const std::string &reason)
@@ -188,6 +186,13 @@ Daemon::preplanLocked(Pending *p, ClientStats *stats)
         return "";
     }
 
+    if (req.isModel()) {
+        // Whole-graph over the fleet: the scheduler places each layer
+        // itself, so planning warms its full (layer, family, device)
+        // enumeration instead of one shape per device.
+        return planModelFleetLocked(p, stats);
+    }
+
     // Fleet: plan once per *distinct* resolved shape (a request that pins
     // --aw/--ah resolves to the same shape everywhere), share the
     // resulting variant between same-shaped devices, and remember per
@@ -225,6 +230,83 @@ Daemon::preplanLocked(Pending *p, ClientStats *stats)
         return strCat("no fleet device can run this request: ",
                       first_error);
     }
+    return "";
+}
+
+std::string
+Daemon::planModelFleetLocked(Pending *p, ClientStats *stats)
+{
+    const Request &req = p->req;
+    const sim::EngineMode mode = req.engine ? *req.engine : opts_.engine;
+    const model::ModelGraph *graph = model::findModel(req.model);
+    FEATHER_CHECK(graph != nullptr, "model validated earlier");
+    const std::vector<DeviceSpec> &devs = opts_.fleet.devices;
+    p->dev_plan.resize(devs.size());
+
+    // Mirror Scheduler::evaluate's fleet enumeration exactly: every
+    // (layer, family) point on every usable device, at the device's own
+    // shape, through the device's cache scope. A layer is schedulable
+    // when at least one (device, family) point plans. Shape pins
+    // (req.aw/req.ah) are ignored here — the fleet scheduler owns the
+    // shapes (documented in the README).
+    std::vector<char> layer_ok(graph->layers.size(), 0);
+    std::vector<std::string> layer_err(graph->layers.size());
+    for (size_t d = 0; d < devs.size(); ++d) {
+        DevicePlan &dp = p->dev_plan[d];
+        // Staged stages are pinned by the schedule, never placed, so
+        // every device is "feasible" for variantFor's purposes; the
+        // single variant holds the whole-graph execution.
+        dp.feasible = true;
+        dp.variant = 0;
+        if (devs[d].aw < 2 || !isPow2(uint64_t(devs[d].aw)) ||
+            devs[d].ah < 1) {
+            continue; // the scheduler skips unusable shapes too
+        }
+        bool dev_first = true;
+        for (size_t li = 0; li < graph->layers.size(); ++li) {
+            const LayerSpec &spec = graph->layers[li].spec;
+            for (sim::DataflowKind kind : kModelFamilies) {
+                const std::string key = serve::PlanCache::key(
+                    mode, kind, spec, devs[d].aw, devs[d].ah);
+                dp.keys.push_back(key);
+                if (planned_keys_
+                        .insert(serve::PlanCache::scopedKey(key,
+                                                            devs[d].name))
+                        .second) {
+                    ++stats->cache_misses;
+                } else {
+                    ++stats->cache_hits;
+                }
+                std::string err;
+                const std::optional<sim::LayerPlan> plan =
+                    cache_.getOrPlan(mode, kind, spec, devs[d].aw,
+                                     devs[d].ah, &err, devs[d].name);
+                if (!plan) {
+                    if (layer_err[li].empty()) layer_err[li] = err;
+                    continue;
+                }
+                layer_ok[li] = 1;
+                if (dev_first) {
+                    dp.in_layout = plan->in_layout;
+                    dp.in_extents = iactExtents(spec);
+                    dev_first = false;
+                }
+            }
+        }
+    }
+    for (size_t li = 0; li < graph->layers.size(); ++li) {
+        if (!layer_ok[li]) {
+            return strCat("no fleet device fits ",
+                          graph->layers[li].spec.name, ": ",
+                          layer_err[li].empty() ? "no usable device shape"
+                                                : layer_err[li]);
+        }
+    }
+    // One variant: the whole-graph fleet schedule (shape comes from the
+    // schedule's per-device placement, not from the variant).
+    auto v = std::make_unique<ExecVariant>();
+    v->done_future = v->done.get_future();
+    p->variants.push_back(std::move(v));
     return "";
 }
 
@@ -371,6 +453,9 @@ Daemon::execute(Pending *p, ExecVariant *v)
             mopts.seed = seed;
             mopts.engine = mode;
             mopts.shared_cache = &cache_;
+            // Fleet mode: the scheduler splits the graph across the
+            // fleet's devices itself (whole-graph pipeline scheduling).
+            if (opts_.fleet.enabled()) mopts.fleet = opts_.fleet;
             model::Scheduler sched(mopts);
             std::string err;
             const std::optional<model::Evaluation> eval =
@@ -388,6 +473,29 @@ Daemon::execute(Pending *p, ExecVariant *v)
                 r.macs = result->macs;
                 r.checked = result->checked;
                 r.mismatches = result->mismatches;
+                if (opts_.fleet.enabled()) {
+                    // The DES pipeline: one stage per contiguous
+                    // same-device segment, the cross-device edge priced
+                    // on the segment it feeds.
+                    for (size_t i = 0; i < result->layers.size(); ++i) {
+                        const model::LayerChoice &lc = result->layers[i];
+                        if (r.segments.empty() ||
+                            r.segments.back().device != lc.device) {
+                            if (!r.path.empty()) r.path += ">";
+                            r.path += lc.device_name;
+                            ExecSegment seg;
+                            seg.device = lc.device;
+                            seg.handoff_cycles =
+                                i > 0 ? lc.reorder_cycles : 0;
+                            r.segments.push_back(seg);
+                        }
+                        r.segments.back().cycles += lc.cycles;
+                    }
+                    r.first_in_layout =
+                        result->layers.front().plan.in_layout;
+                    r.first_in_extents =
+                        iactExtents(graph->layers.front().spec);
+                }
             }
         }
     } catch (const std::exception &e) {
@@ -424,9 +532,10 @@ Daemon::finishOne(Pending *p, int device, int64_t start_vus,
 {
     const ExecVariant *v = variantFor(p, device);
     const ExecResult &r = v->exec;
-    if (device >= 0) {
+    if (device >= 0 && !p->staged) {
         // The device served this completion in virtual time whatever the
         // execution outcome; busy time includes the hand-off premium.
+        // (Staged requests were accounted per stage by the stage hook.)
         DeviceStats &ds = dev_stats_[size_t(device)];
         ++ds.requests;
         ds.busy_vus += finish_vus - start_vus;
@@ -460,10 +569,14 @@ Daemon::finishOne(Pending *p, int device, int64_t start_vus,
     }
     std::string extra;
     if (device >= 0) {
-        extra = strCat(
-            ",\"device\":\"",
-            jsonEscape(opts_.fleet.devices[size_t(device)].name),
-            "\",\"handoff_vus\":", p->handoff_vus);
+        // Staged requests report the whole device path ("devA>devB");
+        // single-device requests report their placed device.
+        const std::string &dev_name =
+            p->staged && !r.path.empty()
+                ? r.path
+                : opts_.fleet.devices[size_t(device)].name;
+        extra = strCat(",\"device\":\"", jsonEscape(dev_name),
+                       "\",\"handoff_vus\":", p->handoff_vus);
     }
     respond(p, strCat("{\"id\":\"", jsonEscape(p->req.id),
                       "\",\"client\":\"", jsonEscape(p->req.client),
@@ -503,6 +616,38 @@ Daemon::run()
         [this, &des](size_t pos, int device, int64_t start_vus,
                      int64_t finish_vus) {
             finishOne(des[pos], device, start_vus, finish_vus);
+        });
+    vs.setStageHooks(
+        [this, &des](size_t pos, int stage, int device) {
+            (void)device;
+            // Staged requests resolved their execution at arrival, so
+            // this never blocks; a failed schedule serves 1 vus.
+            Pending *p = des[pos];
+            const ExecResult &r = p->variants.front()->exec;
+            const int64_t cycles =
+                r.ok && size_t(stage) < r.segments.size()
+                    ? r.segments[size_t(stage)].cycles
+                    : 0;
+            const int64_t dur = std::max<int64_t>(
+                1, (cycles + int64_t(opts_.clock_mhz) - 1) /
+                       int64_t(opts_.clock_mhz));
+            p->service_vus += dur;
+            return dur;
+        },
+        [this, &des](size_t pos, int stage, int device, int64_t start_vus,
+                     int64_t finish_vus) {
+            // Per-device virtual accounting, one entry per stage; the
+            // whole-request view stays in finishOne.
+            Pending *p = des[pos];
+            DeviceStats &ds = dev_stats_[size_t(device)];
+            ++ds.requests;
+            ds.busy_vus += finish_vus - start_vus;
+            if (stage == 0) ds.queue.record(start_vus - p->arrival_vus);
+            const int64_t h = p->stage_plans[size_t(stage)].handoff_vus;
+            if (h > 0) {
+                ++ds.handoffs;
+                ds.handoff_vus += h;
+            }
         });
 
     int64_t last_arrival = 0;
@@ -548,7 +693,77 @@ Daemon::run()
         des.push_back(p);
         std::string reason;
         bool accepted;
-        if (fleet) {
+        if (fleet && p->req.isModel()) {
+            // Whole-graph pipeline request: the fleet scheduler pins its
+            // stages, so the speculative execution must land before
+            // admission. Graph requests therefore serialize on the DES
+            // thread; scenario requests keep their full overlap.
+            ExecVariant *v = p->variants.front().get();
+            v->done_future.wait();
+            const ExecResult &r = v->exec;
+            p->staged = true;
+            const auto prev_it = client_device_.find(p->req.client);
+            const int prev =
+                prev_it == client_device_.end() ? -1 : prev_it->second;
+            if (r.ok) {
+                for (size_t s = 0; s < r.segments.size(); ++s) {
+                    StagePlan sp;
+                    sp.device = r.segments[s].device;
+                    int64_t cycles = 0;
+                    if (s == 0) {
+                        // The client's stream moving off its previous
+                        // device: concordant layouts, so handoffCost
+                        // charges only the inter-chip link term.
+                        if (prev >= 0 && prev != sp.device) {
+                            cycles = model::handoffCost(
+                                false, r.first_in_layout, r.first_in_layout,
+                                r.first_in_extents, model::kHandoffElemBytes,
+                                opts_.fleet.link);
+                        }
+                    } else {
+                        cycles = r.segments[s].handoff_cycles;
+                    }
+                    if (cycles > 0) {
+                        sp.handoff_vus = std::max<int64_t>(
+                            1, (cycles + int64_t(opts_.clock_mhz) - 1) /
+                                   int64_t(opts_.clock_mhz));
+                    }
+                    p->handoff_vus += sp.handoff_vus;
+                    p->stage_plans.push_back(sp);
+                }
+            } else {
+                // Failed schedules still flow through the DES so their
+                // rejection/error accounting stays deterministic: one
+                // unit stage on the first device.
+                p->stage_plans.push_back(StagePlan{0, 0});
+            }
+            accepted = vs.arriveStaged(pos, p->arrival_vus,
+                                       p->req.priority, p->stage_plans,
+                                       &reason);
+            if (accepted) {
+                p->device = p->stage_plans.back().device;
+                client_device_[p->req.client] = p->device;
+                // Per-device cache warmth for every device the pipeline
+                // touches, in stage order.
+                std::vector<char> seen(devs.size(), 0);
+                for (const StagePlan &sp : p->stage_plans) {
+                    if (seen[size_t(sp.device)]) continue;
+                    seen[size_t(sp.device)] = 1;
+                    DeviceStats &ds = dev_stats_[size_t(sp.device)];
+                    for (const std::string &k :
+                         p->dev_plan[size_t(sp.device)].keys) {
+                        if (device_keys_
+                                .insert(serve::PlanCache::scopedKey(
+                                    k, devs[size_t(sp.device)].name))
+                                .second) {
+                            ++ds.cache_misses;
+                        } else {
+                            ++ds.cache_hits;
+                        }
+                    }
+                }
+            }
+        } else if (fleet) {
             const size_t ndev = devs.size();
             ArrivalHints hints;
             hints.eligible.resize(ndev);
@@ -589,7 +804,7 @@ Daemon::run()
                             : dst.in_layout;
                     const int64_t cycles = model::handoffCost(
                         false, src, dst.in_layout, dst.in_extents,
-                        kHandoffElemBytes, opts_.fleet.link);
+                        model::kHandoffElemBytes, opts_.fleet.link);
                     hints.handoff_vus[d] = std::max<int64_t>(
                         1, (cycles + int64_t(opts_.clock_mhz) - 1) /
                                int64_t(opts_.clock_mhz));

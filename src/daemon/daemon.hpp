@@ -112,6 +112,17 @@ class Daemon
     const DaemonOptions &options() const { return opts_; }
 
   private:
+    /** One contiguous same-device segment of a whole-graph fleet
+     *  schedule (graph-over-fleet requests only). */
+    struct ExecSegment
+    {
+        int device = -1;
+        int64_t cycles = 0; ///< measured cycles of the segment's layers
+        /** Price of the cross-device edge feeding this segment (0 for
+         *  the first segment). */
+        int64_t handoff_cycles = 0;
+    };
+
     /** Outcome of one speculative execution (filled on a pool thread). */
     struct ExecResult
     {
@@ -124,6 +135,11 @@ class Daemon
         int64_t mismatches = 0;
         int64_t queue_wall_us = 0;   ///< enqueue -> execution start
         int64_t service_wall_us = 0; ///< execution duration
+        // Graph-over-fleet requests: the pipeline the DES will stage.
+        std::vector<ExecSegment> segments;
+        std::string path;        ///< "devA>devB" device chain
+        Layout first_in_layout;  ///< first layer's chosen input layout
+        Extents first_in_extents;
     };
 
     /** One speculative execution at one resolved array shape. Fleet mode
@@ -164,6 +180,11 @@ class Daemon
         int64_t service_vus = 0;
         int device = -1;         ///< placed device (fleet mode)
         int64_t handoff_vus = 0; ///< cross-device hand-off premium paid
+        /** Graph-over-fleet request: ran as a staged DES pipeline
+         *  (per-stage device accounting happens in the stage hook, and
+         *  the response's device field carries the whole path). */
+        bool staged = false;
+        std::vector<StagePlan> stage_plans;
     };
 
     /** Per-client accounting, folded into ClientRows at report time. */
@@ -223,6 +244,11 @@ class Daemon
     /** Plan every layer of @p req at one resolved shape (under mu_). */
     ShapeInfo planShapeLocked(const Request &req, ClientStats *stats,
                               int aw, int ah);
+
+    /** Fleet-mode model request: warm every (layer, family, device)
+     *  point the whole-graph fleet scheduler will enumerate (through
+     *  each device's cache scope), under mu_. */
+    std::string planModelFleetLocked(Pending *p, ClientStats *stats);
 
     /** The speculative execution body (pool thread). */
     void execute(Pending *p, ExecVariant *v);

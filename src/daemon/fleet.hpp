@@ -4,17 +4,10 @@
  * @file
  * Heterogeneous fleet configuration for the serving daemon.
  *
- * A fleet is an ordered list of named simulated devices — FEATHER
- * instances of arbitrary PE-array sizes plus any arch-zoo design point —
- * parsed from a `--fleet` value:
- *
- *   --fleet feather:16x16,feather:32x32,tpu-like
- *
- * Spec grammar (comma-separated entries; or a file path, one entry per
- * line with '#' comments and commas allowed):
- *
- *   entry := "feather:<COLS>x<ROWS>"       custom FEATHER instance
- *          | <arch-zoo name>               baselines::archZoo() entry
+ * The fleet itself (device list, spec grammar, inter-chip link) lives in
+ * model/fleet.hpp so the whole-graph Scheduler can split ModelGraphs over
+ * the same devices; this header adds the daemon's view: the placement
+ * policy that routes per-request arrivals, and the vclock device list.
  *
  * Each device serves requests at its own array shape (requests that pin
  * --aw/--ah keep their pinned shape everywhere), contributes its PE count
@@ -25,36 +18,19 @@
 #include <string>
 #include <vector>
 
-#include "layoutloop/arch_spec.hpp"
-#include "model/scheduler.hpp"
+#include "model/fleet.hpp"
 #include "daemon/vclock.hpp"
 
 namespace feather {
 namespace daemon {
 
 /** One named device of the simulated fleet. */
-struct DeviceSpec
-{
-    std::string name; ///< unique report name ("feather:32x32")
-    ArchSpec arch;
-    /** Array shape requests resolve to when they do not pin aw/ah. */
-    int aw = 16;
-    int ah = 16;
-    /** Placement weight of the Capability policy (PE count). */
-    int64_t capability = 256;
-};
+using DeviceSpec = model::FleetDevice;
 
-/** The whole fleet: devices + placement policy + inter-chip link. */
-struct FleetConfig
+/** The whole fleet: the shared spec plus the daemon placement policy. */
+struct FleetConfig : model::FleetSpec
 {
-    std::vector<DeviceSpec> devices;
     PlacementPolicy place = PlacementPolicy::LeastLoaded;
-    /** Prices the transfer term of cross-device hand-offs. */
-    model::InterChipLink link;
-    /** The normalized spec text ("a,b,c"), echoed in reports. */
-    std::string spec;
-
-    bool enabled() const { return !devices.empty(); }
 };
 
 /**

@@ -47,14 +47,22 @@ VirtualScheduler::VirtualScheduler(VirtualConfig cfg, DurationFn duration,
 }
 
 void
-VirtualScheduler::start(size_t index, int64_t start_vus, int device)
+VirtualScheduler::start(size_t index, int stage, int64_t start_vus,
+                        int device)
 {
-    int64_t dur = std::max<int64_t>(1, duration_(index, device));
-    if (fleet()) {
-        dev_[size_t(device)].busy = true;
-        if (index < handoff_.size()) dur += handoff_[index];
+    const auto staged = staged_.find(index);
+    int64_t dur;
+    if (staged != staged_.end()) {
+        if (stage == 0) staged->second.first_start = start_vus;
+        dur = std::max<int64_t>(1,
+                                stage_duration_(index, stage, device));
+        dur += staged->second.stages[size_t(stage)].handoff_vus;
+    } else {
+        dur = std::max<int64_t>(1, duration_(index, device));
+        if (fleet() && index < handoff_.size()) dur += handoff_[index];
     }
-    running_.push({start_vus + dur, index, start_vus, device});
+    if (fleet()) dev_[size_t(device)].busy = true;
+    running_.push({start_vus + dur, index, start_vus, device, stage});
 }
 
 void
@@ -63,23 +71,60 @@ VirtualScheduler::completeOne()
     const Running done = running_.top();
     running_.pop();
     last_finish_ = std::max(last_finish_, done.finish);
-    on_finish_(done.index, done.device, done.start, done.finish);
-    // Hand the freed server to the highest-priority waiter (FIFO within a
-    // priority). Starting it at done.finish is time-correct: see the
-    // laziness invariant in the header. In fleet mode the server is the
-    // device itself, so only its own waiters are candidates — placement
-    // already happened at arrival and is never revisited.
-    auto &fifos = fleet() ? dev_[size_t(done.device)].waiting : waiting_;
+    const auto staged = staged_.find(done.index);
+    const bool is_staged = staged != staged_.end();
+    if (is_staged) {
+        stage_finish_(done.index, done.stage, done.device, done.start,
+                      done.finish);
+    }
+    const bool final_stage =
+        !is_staged ||
+        size_t(done.stage) + 1 == staged->second.stages.size();
+    if (final_stage) {
+        on_finish_(done.index, done.device,
+                   is_staged ? staged->second.first_start : done.start,
+                   done.finish);
+    }
     if (fleet()) dev_[size_t(done.device)].busy = false;
+    if (!final_stage) {
+        // Advance the pipeline: stage k+1 is pinned, so it either claims
+        // its device right now (its busy state is current at done.finish
+        // — the heap materialized every earlier completion first) or
+        // joins that device's FIFO. Continuations bypass admission (an
+        // in-flight request cannot be rejected) but occupy queue slots
+        // while they wait.
+        const StagePlan &next_stage =
+            staged->second.stages[size_t(done.stage) + 1];
+        DeviceState &ds = dev_[size_t(next_stage.device)];
+        if (!ds.busy) {
+            start(done.index, done.stage + 1, done.finish,
+                  next_stage.device);
+        } else {
+            const int prio = staged->second.priority;
+            ds.waiting[size_t(prio)].push_back(
+                {done.index, done.stage + 1});
+            ++ds.waiting_total;
+            ++waiting_total_;
+            ++waiting_by_prio_[size_t(prio)];
+        }
+    }
+    // Hand the freed server to the highest-priority waiter (FIFO within a
+    // priority) — unless a continuation stage just reclaimed it. Starting
+    // it at done.finish is time-correct: see the laziness invariant in
+    // the header. In fleet mode the server is the device itself, so only
+    // its own waiters are candidates — placement already happened at
+    // arrival and is never revisited.
+    if (fleet() && dev_[size_t(done.device)].busy) return;
+    auto &fifos = fleet() ? dev_[size_t(done.device)].waiting : waiting_;
     for (int prio = 0; prio < VirtualConfig::kPriorities; ++prio) {
         auto &fifo = fifos[size_t(prio)];
         if (fifo.empty()) continue;
-        const size_t next = fifo.front();
+        const Waiter next = fifo.front();
         fifo.pop_front();
         --waiting_total_;
         --waiting_by_prio_[size_t(prio)];
         if (fleet()) --dev_[size_t(done.device)].waiting_total;
-        start(next, done.finish, done.device);
+        start(next.index, next.stage, done.finish, done.device);
         break;
     }
 }
@@ -176,11 +221,11 @@ VirtualScheduler::arrive(size_t index, int64_t arrival_vus, int priority,
     if (int(running_.size()) < cfg_.vworkers) {
         // waiting_ is necessarily empty here: a server only stays free
         // while nothing waits for it.
-        start(index, arrival_vus, -1);
+        start(index, 0, arrival_vus, -1);
         return true;
     }
     if (!admitWaiter(priority, reject_reason)) return false;
-    waiting_[size_t(priority)].push_back(index);
+    waiting_[size_t(priority)].push_back({index, 0});
     ++waiting_total_;
     ++waiting_by_prio_[size_t(priority)];
     return true;
@@ -206,16 +251,55 @@ VirtualScheduler::arrive(size_t index, int64_t arrival_vus, int priority,
 
     DeviceState &ds = dev_[size_t(device)];
     if (!ds.busy) {
-        start(index, arrival_vus, device);
+        start(index, 0, arrival_vus, device);
         if (placed_device) *placed_device = device;
         return true;
     }
     if (!admitWaiter(priority, reject_reason)) return false;
-    ds.waiting[size_t(priority)].push_back(index);
+    ds.waiting[size_t(priority)].push_back({index, 0});
     ++ds.waiting_total;
     ++waiting_total_;
     ++waiting_by_prio_[size_t(priority)];
     if (placed_device) *placed_device = device;
+    return true;
+}
+
+bool
+VirtualScheduler::arriveStaged(size_t index, int64_t arrival_vus,
+                               int priority, std::vector<StagePlan> stages,
+                               std::string *reject_reason)
+{
+    FEATHER_CHECK(fleet(), "staged arrivals need a fleet configuration");
+    FEATHER_CHECK(stage_duration_ && stage_finish_,
+                  "staged arrivals need setStageHooks()");
+    FEATHER_CHECK(!stages.empty(), "staged arrivals need >= 1 stage");
+    FEATHER_CHECK(arrival_vus >= last_arrival_,
+                  "arrivals must be fed in non-decreasing time order");
+    FEATHER_CHECK(priority >= 0 && priority < VirtualConfig::kPriorities,
+                  "priority out of range");
+    for (const StagePlan &s : stages) {
+        FEATHER_CHECK(s.device >= 0 && size_t(s.device) < dev_.size(),
+                      "stage pinned to an unknown device");
+    }
+    last_arrival_ = arrival_vus;
+    advanceTo(arrival_vus);
+
+    const int device = stages.front().device;
+    StagedInfo info;
+    info.stages = std::move(stages);
+    info.priority = priority;
+    DeviceState &ds = dev_[size_t(device)];
+    if (!ds.busy) {
+        staged_[index] = std::move(info);
+        start(index, 0, arrival_vus, device);
+        return true;
+    }
+    if (!admitWaiter(priority, reject_reason)) return false;
+    staged_[index] = std::move(info);
+    ds.waiting[size_t(priority)].push_back({index, 0});
+    ++ds.waiting_total;
+    ++waiting_total_;
+    ++waiting_by_prio_[size_t(priority)];
     return true;
 }
 

@@ -33,9 +33,20 @@
  * before f (had it arrived after, its own arrival processing would have
  * materialized the f-completion first).
  *
+ * Staged requests (fleet mode): a whole-graph request pipelined across
+ * devices arrives via arriveStaged() with one pinned StagePlan per
+ * contiguous same-device segment of its schedule. Stage k+1 starts when
+ * stage k finishes — immediately if its device is free at that instant
+ * (current by the heap's event order), else it joins that device's FIFO
+ * at the request's priority. Continuation stages bypass admission (an
+ * in-flight request cannot be rejected) but occupy queue slots while they
+ * wait, so the depth bounds see them; stages of independent requests
+ * interleave in virtual time. The completion callback fires once, after
+ * the last stage, spanning first start to last finish.
+ *
  * The DurationFn may block (it waits on the speculative execution's
- * result); it is called exactly once per started request, on the single
- * DES thread.
+ * result); it is called exactly once per started request (per started
+ * stage for staged requests), on the single DES thread.
  */
 
 #include <array>
@@ -45,6 +56,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace feather {
@@ -88,6 +100,15 @@ struct VirtualConfig
     PlacementPolicy place = PlacementPolicy::LeastLoaded;
 };
 
+/** One pipeline stage of a staged request: a pinned device plus the
+ *  hand-off premium charged when the stage starts (the inter-device edge
+ *  feeding it, in virtual microseconds). */
+struct StagePlan
+{
+    int device = -1;
+    int64_t handoff_vus = 0;
+};
+
 /** Per-arrival placement inputs, computed by the caller on the DES
  *  thread (fleet mode only). Vectors are indexed by device; empty means
  *  "no constraint / all zero". */
@@ -114,12 +135,34 @@ class VirtualScheduler
 
     /** Completion callback: request @p index ran on @p device (-1 in
      *  homogeneous mode), started at @p start_vus and finished at
-     *  @p finish_vus. Called in deterministic event order. */
+     *  @p finish_vus. Called in deterministic event order. For staged
+     *  requests it fires once, after the last stage, with that stage's
+     *  device and the first stage's start. */
     using CompletionFn = std::function<void(
         size_t index, int device, int64_t start_vus, int64_t finish_vus)>;
 
+    /** Virtual service duration of stage @p stage of staged request
+     *  @p index on @p device; same contract as DurationFn. */
+    using StageDurationFn =
+        std::function<int64_t(size_t index, int stage, int device)>;
+
+    /** Per-stage completion callback for staged requests: fires for
+     *  every stage (including the last, before CompletionFn) so the
+     *  caller can account busy time and hand-offs per device. */
+    using StageFinishFn =
+        std::function<void(size_t index, int stage, int device,
+                           int64_t start_vus, int64_t finish_vus)>;
+
     VirtualScheduler(VirtualConfig cfg, DurationFn duration,
                      CompletionFn on_finish);
+
+    /** Required before the first arriveStaged() call. */
+    void
+    setStageHooks(StageDurationFn duration, StageFinishFn on_stage)
+    {
+        stage_duration_ = std::move(duration);
+        stage_finish_ = std::move(on_stage);
+    }
 
     /**
      * Process the arrival of request @p index at @p arrival_vus (must be
@@ -140,6 +183,16 @@ class VirtualScheduler
                 const ArrivalHints &hints, std::string *reject_reason,
                 int *placed_device = nullptr);
 
+    /**
+     * Staged arrival (fleet mode only): run @p stages in order, each
+     * pinned to its device. Admission bounds apply to the first stage
+     * exactly as for arrive(); later stages cannot be rejected. Requires
+     * setStageHooks().
+     */
+    bool arriveStaged(size_t index, int64_t arrival_vus, int priority,
+                      std::vector<StagePlan> stages,
+                      std::string *reject_reason);
+
     /** Run every accepted request to completion. */
     void drain();
 
@@ -156,8 +209,10 @@ class VirtualScheduler
         size_t index = 0;
         int64_t start = 0;
         int device = -1;
+        int stage = 0; ///< staged requests; 0 otherwise
 
-        /** Min-heap order: earliest finish first, ties by index. */
+        /** Min-heap order: earliest finish first, ties by index (a
+         *  request has at most one stage in flight, so this is total). */
         bool
         operator>(const Running &o) const
         {
@@ -165,21 +220,37 @@ class VirtualScheduler
         }
     };
 
+    /** One FIFO entry: a request, at the stage waiting to start. */
+    struct Waiter
+    {
+        size_t index = 0;
+        int stage = 0;
+    };
+
     /** One device's private server + FIFOs (fleet mode). */
     struct DeviceState
     {
         bool busy = false;
-        std::array<std::deque<size_t>, VirtualConfig::kPriorities> waiting;
+        std::array<std::deque<Waiter>, VirtualConfig::kPriorities> waiting;
         size_t waiting_total = 0;
+    };
+
+    /** A staged request's pinned pipeline, kept until it completes. */
+    struct StagedInfo
+    {
+        std::vector<StagePlan> stages;
+        int priority = 0;
+        int64_t first_start = 0;
     };
 
     /** Materialize every completion with finish <= @p t. */
     void advanceTo(int64_t t);
 
-    /** Pop the earliest completion; hand its server to a waiter. */
+    /** Pop the earliest completion; advance its pipeline (staged
+     *  requests), then hand its server to a waiter. */
     void completeOne();
 
-    void start(size_t index, int64_t start_vus, int device);
+    void start(size_t index, int stage, int64_t start_vus, int device);
 
     /** The placement decision: pick among eligible devices by policy. */
     int place(const ArrivalHints &hints) const;
@@ -190,10 +261,14 @@ class VirtualScheduler
     VirtualConfig cfg_;
     DurationFn duration_;
     CompletionFn on_finish_;
+    StageDurationFn stage_duration_;
+    StageFinishFn stage_finish_;
     std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
         running_;
     /** Homogeneous mode: shared FIFOs across the vworkers. */
-    std::array<std::deque<size_t>, VirtualConfig::kPriorities> waiting_;
+    std::array<std::deque<Waiter>, VirtualConfig::kPriorities> waiting_;
+    /** Staged requests by index (fleet mode). */
+    std::unordered_map<size_t, StagedInfo> staged_;
     /** Fleet mode: per-device servers and FIFOs. */
     std::vector<DeviceState> dev_;
     /** Hand-off premium charged to each placed request (fleet mode),

@@ -6,6 +6,7 @@
 #include "common/options.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
+#include "model/fleet.hpp"
 #include "model/report.hpp"
 #include "sim/cli.hpp"
 
@@ -31,13 +32,18 @@ parseModelCli(const std::vector<std::string> &args)
     ModelCliOptions &o = parse.opts;
     OptionTable t;
     t.unknownSuffix(" in model mode (--model runs accept --schedule, "
-                    "--aw, --ah, --seed, --jobs, --engine, --report-csv, "
-                    "--report-json)");
+                    "--fleet, --aw, --ah, --seed, --jobs, --engine, "
+                    "--report-csv, --report-json)");
     t.str("--model", "NAME|FILE",
           "schedule a built-in model graph or a model\nfile", &o.model);
     t.str("--schedule", "S",
-          "per-layer, greedy, or fixed:<ws|cp|wp>\n(default: per-layer)",
+          "per-layer, greedy, fixed:<ws|cp|wp>, or\npinned:<device> "
+          "(default: per-layer)",
           &o.schedule);
+    t.str("--fleet", "SPEC|F",
+          "split the graph across a device fleet\n"
+          "(e.g. feather:16x16,feather:32x32,tpu-like)",
+          &o.fleet);
     t.positiveInt("--aw", "N", "array width (default: model's)", &o.aw,
                   65536);
     t.positiveInt("--ah", "N", "array height (default: model's)", &o.ah,
@@ -121,6 +127,11 @@ cliMain(int argc, const char *const *argv)
     sopts.seed = o.seed;
     sopts.num_threads = o.jobs;
     sopts.engine = o.engine;
+    if (!o.fleet.empty() &&
+        !parseFleetSpec(o.fleet, &sopts.fleet, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
     Scheduler scheduler(sopts);
     const std::optional<ScheduleComparison> cmp =
         scheduler.compare(*graph, *policy, &error);
@@ -130,11 +141,19 @@ cliMain(int argc, const char *const *argv)
     }
 
     ScheduleReport report{*cmp};
-    std::printf("model %s on %dx%d FEATHER (schedule %s, seed %llu, "
-                "%d worker thread(s))\n",
-                graph->name.c_str(), report.comparison.primary().aw,
-                report.comparison.primary().ah, o.schedule.c_str(),
-                (unsigned long long)o.seed, o.jobs);
+    if (sopts.fleet.enabled()) {
+        std::printf("model %s over fleet [%s] (schedule %s, seed %llu, "
+                    "%d worker thread(s))\n",
+                    graph->name.c_str(), sopts.fleet.spec.c_str(),
+                    o.schedule.c_str(), (unsigned long long)o.seed,
+                    o.jobs);
+    } else {
+        std::printf("model %s on %dx%d FEATHER (schedule %s, seed %llu, "
+                    "%d worker thread(s))\n",
+                    graph->name.c_str(), report.comparison.primary().aw,
+                    report.comparison.primary().ah, o.schedule.c_str(),
+                    (unsigned long long)o.seed, o.jobs);
+    }
     std::printf("%s", report.layerTable().c_str());
     std::printf("schedule ranking (* = selected):\n%s",
                 report.comparisonTable().c_str());

@@ -7,6 +7,7 @@
  *
  *   feather_cli --model resnet_block --schedule per-layer
  *   feather_cli --model nets/edge.model --schedule fixed:ws --jobs 8
+ *   feather_cli --model bert_mlp --fleet feather:16x16,tpu-like
  *   feather_cli --list-models
  */
 
@@ -24,6 +25,9 @@ struct ModelCliOptions
 {
     std::string model;                 ///< built-in name or model file path
     std::string schedule = "per-layer";
+    /** --fleet SPEC|FILE: split the graph across a device fleet (adds a
+     *  device column to reports and pinned:<dev> ranking rows). */
+    std::string fleet;
     int aw = 0; ///< 0 = graph default
     int ah = 0;
     uint64_t seed = 2024;

@@ -23,25 +23,32 @@ status(const ScheduleResult &r)
     return r.bitExact() ? "ok" : "MISMATCH";
 }
 
-const std::vector<std::string> &
-columns()
+/** The device column exists only in fleet mode, so the classic
+ *  single-device CSV/JSON schemas stay byte-identical. */
+std::vector<std::string>
+columns(bool fleet)
 {
-    static const std::vector<std::string> cols = {
+    std::vector<std::string> cols = {
         "model",      "schedule",   "selected",       "aw",
         "ah",         "seed",       "layer",          "op",
         "dataflow",   "mapping",    "in_layout",      "out_layout",
         "est_cycles", "reorder_cycles", "cycles",     "macs",
         "rd_stalls",  "wr_stalls",  "engine_mode",    "sim_wall_us",
         "arena_peak_bytes", "status"};
+    if (fleet) cols.insert(cols.begin() + 8, "device");
     return cols;
 }
 
 std::string
-layerJson(const LayerChoice &l)
+layerJson(const LayerChoice &l, bool fleet)
 {
+    const std::string device =
+        fleet ? strCat("\"device\":\"", jsonEscape(l.device_name), "\",")
+              : std::string();
     return strCat(
         "{\"layer\":\"", jsonEscape(l.layer), "\",\"op\":\"",
-        jsonEscape(l.op), "\",\"dataflow\":\"", sim::toString(l.dataflow),
+        jsonEscape(l.op), "\",", device, "\"dataflow\":\"",
+        sim::toString(l.dataflow),
         "\",\"mapping\":\"", jsonEscape(l.plan.mapping.toString()),
         "\",\"in_layout\":\"", l.plan.in_layout.toString(),
         "\",\"out_layout\":\"", l.plan.out_layout.toString(),
@@ -56,25 +63,31 @@ layerJson(const LayerChoice &l)
 std::string
 ScheduleReport::toCsv() const
 {
-    Table t(columns());
+    const bool fleet = !comparison.primary().fleet.empty();
+    Table t(columns(fleet));
     for (size_t s = 0; s < comparison.schedules.size(); ++s) {
         const ScheduleResult &r = comparison.schedules[s];
         for (const LayerChoice &l : r.layers) {
-            t.addRow({csvSafe(r.model), csvSafe(r.schedule),
-                      s == 0 ? "1" : "0", std::to_string(r.aw),
-                      std::to_string(r.ah), std::to_string(r.seed),
-                      csvSafe(l.layer), l.op, sim::toString(l.dataflow),
-                      csvSafe(l.plan.mapping.toString()),
-                      l.plan.in_layout.toString(),
-                      l.plan.out_layout.toString(),
-                      std::to_string(l.est_cycles),
-                      std::to_string(l.reorder_cycles),
-                      std::to_string(l.cycles), std::to_string(l.macs),
-                      std::to_string(l.read_stalls),
-                      std::to_string(l.write_stalls),
-                      sim::toString(r.engine),
-                      std::to_string(r.sim_wall_us),
-                      std::to_string(r.arena_peak_bytes), status(r)});
+            std::vector<std::string> row = {
+                csvSafe(r.model), csvSafe(r.schedule),
+                s == 0 ? "1" : "0", std::to_string(r.aw),
+                std::to_string(r.ah), std::to_string(r.seed),
+                csvSafe(l.layer), l.op, sim::toString(l.dataflow),
+                csvSafe(l.plan.mapping.toString()),
+                l.plan.in_layout.toString(),
+                l.plan.out_layout.toString(),
+                std::to_string(l.est_cycles),
+                std::to_string(l.reorder_cycles),
+                std::to_string(l.cycles), std::to_string(l.macs),
+                std::to_string(l.read_stalls),
+                std::to_string(l.write_stalls),
+                sim::toString(r.engine),
+                std::to_string(r.sim_wall_us),
+                std::to_string(r.arena_peak_bytes), status(r)};
+            if (fleet) {
+                row.insert(row.begin() + 8, csvSafe(l.device_name));
+            }
+            t.addRow(row);
         }
     }
     return t.toCsv();
@@ -84,13 +97,17 @@ std::string
 ScheduleReport::toJson() const
 {
     const ScheduleResult &p = comparison.primary();
+    const bool fleet = !p.fleet.empty();
     std::string out = strCat(
         "{\"model\":\"", jsonEscape(p.model), "\",\"schedule\":\"",
         jsonEscape(p.schedule), "\",\"aw\":", p.aw, ",\"ah\":", p.ah,
-        ",\"seed\":", p.seed, ",\"layers\":[");
+        ",\"seed\":", p.seed,
+        fleet ? strCat(",\"fleet\":\"", jsonEscape(p.fleet), "\"")
+              : std::string(),
+        ",\"layers\":[");
     for (size_t i = 0; i < p.layers.size(); ++i) {
         if (i > 0) out += ",";
-        out += layerJson(p.layers[i]);
+        out += layerJson(p.layers[i], fleet);
     }
     out += "],\"alternatives\":[";
     bool first = true;
@@ -121,6 +138,10 @@ ScheduleReport::toJson() const
         jsonEscape(best_name), "\",\"best_fixed_cycles\":", best_cycles,
         ",\"speedup_vs_best_fixed\":",
         fmtFixed(comparison.speedupVsBestFixed()),
+        fleet ? strCat(",\"search_nodes\":", p.search_nodes,
+                       ",\"handoffs\":", p.handoffs,
+                       ",\"handoff_cycles\":", p.handoff_cycles)
+              : std::string(),
         ",\"plan_cache\":{\"hits\":", comparison.cache.hits,
         ",\"misses\":", comparison.cache.misses,
         ",\"entries\":", comparison.cache.entries, "}}}");
@@ -131,23 +152,28 @@ std::string
 ScheduleReport::layerTable() const
 {
     const ScheduleResult &p = comparison.primary();
-    Table t({"layer", "op", "dataflow", "mapping", "iAct layout",
-             "oAct layout", "est cycles", "reorder", "cycles", "util",
-             "rd stalls", "wr stalls"});
+    const bool fleet = !p.fleet.empty();
+    std::vector<std::string> headers = {
+        "layer", "op", "dataflow", "mapping", "iAct layout",
+        "oAct layout", "est cycles", "reorder", "cycles", "util",
+        "rd stalls", "wr stalls"};
+    if (fleet) headers.insert(headers.begin() + 2, "device");
+    Table t(headers);
     const int num_pes = p.aw * p.ah;
     for (const LayerChoice &l : p.layers) {
         const double util =
             l.cycles > 0
                 ? double(l.macs) / (double(l.cycles) * num_pes)
                 : 0.0;
-        t.addRow({l.layer, l.op, sim::toString(l.dataflow),
-                  l.plan.mapping.toString(), l.plan.in_layout.toString(),
-                  l.plan.out_layout.toString(),
-                  std::to_string(l.est_cycles),
-                  std::to_string(l.reorder_cycles),
-                  std::to_string(l.cycles), fmtPercent(util),
-                  std::to_string(l.read_stalls),
-                  std::to_string(l.write_stalls)});
+        std::vector<std::string> row = {
+            l.layer, l.op, sim::toString(l.dataflow),
+            l.plan.mapping.toString(), l.plan.in_layout.toString(),
+            l.plan.out_layout.toString(), std::to_string(l.est_cycles),
+            std::to_string(l.reorder_cycles), std::to_string(l.cycles),
+            fmtPercent(util), std::to_string(l.read_stalls),
+            std::to_string(l.write_stalls)};
+        if (fleet) row.insert(row.begin() + 2, l.device_name);
+        t.addRow(row);
     }
     return t.toString();
 }
@@ -186,6 +212,11 @@ ScheduleReport::summaryLine() const
         out += strCat("; best fixed dataflow: ", b.schedule, " at ",
                       b.cycles, " cycles; speedup vs best fixed: ",
                       fmtRatio(comparison.speedupVsBestFixed()));
+    }
+    if (!p.fleet.empty()) {
+        out += strCat("; hand-offs: ", p.handoffs, " (",
+                      p.handoff_cycles, " est cycles, ", p.search_nodes,
+                      " DP nodes)");
     }
     out += strCat("; final activations bit-exact vs reference_ops: ",
                   p.bitExact() ? "yes" : "NO", "\n");

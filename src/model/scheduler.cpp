@@ -114,9 +114,17 @@ parseSchedule(const std::string &name, std::string *error)
             return policy;
         }
     }
+    const std::string pinned = "pinned:";
+    if (name.compare(0, pinned.size(), pinned) == 0 &&
+        name.size() > pinned.size()) {
+        policy.kind = ScheduleKind::Pinned;
+        policy.pinned = name.substr(pinned.size());
+        return policy;
+    }
     if (error) {
         *error = "unknown schedule '" + name +
-                 "' (expected per-layer, greedy, or fixed:<ws|cp|wp>)";
+                 "' (expected per-layer, greedy, fixed:<ws|cp|wp>, or "
+                 "pinned:<device>)";
     }
     return std::nullopt;
 }
@@ -128,6 +136,7 @@ toString(const SchedulePolicy &policy)
     case ScheduleKind::PerLayer: return "per-layer";
     case ScheduleKind::Greedy: return "greedy";
     case ScheduleKind::Fixed: return "fixed:" + sim::toString(policy.fixed);
+    case ScheduleKind::Pinned: return "pinned:" + policy.pinned;
     }
     return "?";
 }
@@ -178,50 +187,75 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
         if (error) *error = why;
         return std::nullopt;
     }
+    const bool fleet = opts_.fleet.enabled();
     const int aw = resolvedAw(graph);
     const int ah = resolvedAh(graph);
-    if (aw < 2 || !isPow2(uint64_t(aw))) {
-        if (error) {
-            *error = strCat("array width (--aw) must be a power of two >= 2"
-                            ", got ", aw);
+    if (!fleet) {
+        if (aw < 2 || !isPow2(uint64_t(aw))) {
+            if (error) {
+                *error = strCat("array width (--aw) must be a power of two"
+                                " >= 2, got ", aw);
+            }
+            return std::nullopt;
         }
-        return std::nullopt;
-    }
-    if (ah < 1) {
-        if (error) *error = "array height (--ah) must be >= 1";
-        return std::nullopt;
+        if (ah < 1) {
+            if (error) *error = "array height (--ah) must be >= 1";
+            return std::nullopt;
+        }
     }
 
     // Step 1: plan every (layer, family) point through the shared cache
-    // and collapse families that induce identical planning artifacts.
+    // and collapse families that induce identical planning artifacts. In
+    // fleet mode the per-device candidate lists (each enumerated at that
+    // device's shape, through its cache scope) are flattened in fleet
+    // order into one device-tagged list per layer; deduplication stays
+    // within a device, since the same (mapping, layouts) point on two
+    // devices prices edges differently.
     Evaluation eval;
     for (const ModelLayer &ml : graph.layers) {
         std::vector<Candidate> candidates;
         std::string plan_error;
-        for (sim::DataflowKind kind : kFamilies) {
-            const std::optional<sim::LayerPlan> plan =
-                cache().getOrPlan(opts_.engine, kind, ml.spec, aw, ah,
-                                 &plan_error);
-            if (!plan) continue;
-            bool merged = false;
-            for (Candidate &c : candidates) {
-                if (planKey(c.plan) == planKey(*plan)) {
-                    c.kinds.push_back(kind);
-                    merged = true;
-                    break;
-                }
+        const size_t ndev = fleet ? opts_.fleet.devices.size() : 1;
+        for (size_t d = 0; d < ndev; ++d) {
+            const int daw = fleet ? opts_.fleet.devices[d].aw : aw;
+            const int dah = fleet ? opts_.fleet.devices[d].ah : ah;
+            const std::string scope =
+                fleet ? opts_.fleet.devices[d].name : std::string();
+            if (daw < 2 || !isPow2(uint64_t(daw)) || dah < 1) {
+                plan_error = strCat(scope, " has an unusable ", daw, "x",
+                                    dah, " array");
+                continue;
             }
-            if (merged) continue;
-            Candidate c;
-            c.kinds = {kind};
-            c.plan = *plan;
-            candidates.push_back(std::move(c));
+            const size_t first = candidates.size();
+            for (sim::DataflowKind kind : kFamilies) {
+                const std::optional<sim::LayerPlan> plan =
+                    cache().getOrPlan(opts_.engine, kind, ml.spec, daw, dah,
+                                      &plan_error, scope);
+                if (!plan) continue;
+                bool merged = false;
+                for (size_t c = first; c < candidates.size(); ++c) {
+                    if (planKey(candidates[c].plan) == planKey(*plan)) {
+                        candidates[c].kinds.push_back(kind);
+                        merged = true;
+                        break;
+                    }
+                }
+                if (merged) continue;
+                Candidate c;
+                c.kinds = {kind};
+                c.plan = *plan;
+                c.device = fleet ? int(d) : -1;
+                candidates.push_back(std::move(c));
+            }
         }
         if (candidates.empty()) {
             if (error) {
-                *error = strCat("no dataflow family fits ", ml.spec.name,
-                                " on a ", aw, "x", ah, " array: ",
-                                plan_error);
+                *error = fleet
+                             ? strCat("no fleet device fits ", ml.spec.name,
+                                      ": ", plan_error)
+                             : strCat("no dataflow family fits ",
+                                      ml.spec.name, " on a ", aw, "x", ah,
+                                      " array: ", plan_error);
             }
             return std::nullopt;
         }
@@ -253,8 +287,12 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
                 const ModelLayer &ml = graph.layers[slot.layer];
                 Candidate &cand = eval.layers[slot.layer][slot.cand];
                 sim::RunOptions ropts;
-                ropts.aw = resolvedAw(graph);
-                ropts.ah = resolvedAh(graph);
+                ropts.aw = cand.device >= 0
+                               ? opts_.fleet.devices[size_t(cand.device)].aw
+                               : resolvedAw(graph);
+                ropts.ah = cand.device >= 0
+                               ? opts_.fleet.devices[size_t(cand.device)].ah
+                               : resolvedAh(graph);
                 ropts.engine = opts_.engine;
                 ropts.seed = slot.seed;
                 ropts.mapping = cand.plan.mapping;
@@ -286,16 +324,24 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
     }
 
     // Step 3: price every layer-to-layer hand-off once. The intermediate
-    // tensor of edge i is layer i's input.
+    // tensor of edge i is layer i's input. Same-device edges (everything
+    // outside fleet mode) cost the BIRRD reorder; cross-device edges add
+    // the inter-chip link transfer term via handoffCost.
     eval.edges.resize(eval.layers.size());
     for (size_t i = 1; i < eval.layers.size(); ++i) {
         const Extents extents = iactExtents(graph.layers[i].spec);
         eval.edges[i].resize(eval.layers[i - 1].size());
         for (size_t p = 0; p < eval.layers[i - 1].size(); ++p) {
+            const Candidate &prev = eval.layers[i - 1][p];
             for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                const Candidate &next = eval.layers[i][c];
                 eval.edges[i][p].push_back(
-                    reorderCost(eval.layers[i - 1][p].plan.out_layout,
-                                eval.layers[i][c].plan.in_layout, extents));
+                    prev.device == next.device
+                        ? reorderCost(prev.plan.out_layout,
+                                      next.plan.in_layout, extents)
+                        : handoffCost(false, prev.plan.out_layout,
+                                      next.plan.in_layout, extents,
+                                      kHandoffElemBytes, opts_.fleet.link));
             }
         }
     }
@@ -305,7 +351,8 @@ Scheduler::evaluate(const ModelGraph &graph, std::string *error)
 bool
 Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
                           const SchedulePolicy &policy,
-                          std::vector<size_t> *out_picks, std::string *error)
+                          std::vector<size_t> *out_picks,
+                          int64_t *search_nodes, std::string *error)
 {
     FEATHER_CHECK(eval.layers.size() == graph.layers.size(),
                   "schedule: evaluation does not match the graph");
@@ -315,6 +362,32 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
     const auto edge = [&](size_t i, size_t p, size_t c) {
         return eval.edges[i][p][c];
     };
+    int64_t nodes = 0;
+
+    // Pinned restricts the search to one fleet device's candidates; the
+    // remaining policies then run unchanged over the masked table.
+    int pin = -1;
+    if (policy.kind == ScheduleKind::Pinned) {
+        if (!opts_.fleet.enabled()) {
+            if (error) {
+                *error = strCat(toString(policy),
+                                " needs --fleet (no fleet configured)");
+            }
+            return false;
+        }
+        pin = opts_.fleet.deviceIndex(policy.pinned);
+        if (pin < 0) {
+            if (error) {
+                *error = strCat(toString(policy), " cannot schedule ",
+                                graph.name, ": unknown fleet device '",
+                                policy.pinned, "'");
+            }
+            return false;
+        }
+    }
+    const auto allowed = [&](size_t i, size_t c) {
+        return pin < 0 || eval.layers[i][c].device == pin;
+    };
 
     std::vector<size_t> &picks = *out_picks;
     picks.assign(n, 0);
@@ -322,6 +395,7 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
         for (size_t i = 0; i < n; ++i) {
             bool found = false;
             for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                ++nodes;
                 const auto &kinds = eval.layers[i][c].kinds;
                 for (sim::DataflowKind k : kinds) {
                     if (k == policy.fixed) {
@@ -347,6 +421,7 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
         for (size_t i = 0; i < n; ++i) {
             int64_t best = std::numeric_limits<int64_t>::max();
             for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                ++nodes;
                 int64_t cost = eval.layers[i][c].est_cycles;
                 if (i > 0) cost += edge(i, picks[i - 1], c);
                 if (cost < best) {
@@ -355,19 +430,26 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
                 }
             }
         }
-    } else { // PerLayer: DP shortest path over (layer, candidate) states.
+    } else { // PerLayer/Pinned: DP shortest path over (layer, candidate)
+             // states — in fleet mode the candidates carry device tags, so
+             // the same relaxation searches (layer, device, candidate).
+        constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
         std::vector<std::vector<int64_t>> dp(n);
         std::vector<std::vector<size_t>> parent(n);
         for (size_t c = 0; c < eval.layers[0].size(); ++c) {
-            dp[0].push_back(eval.layers[0][c].est_cycles);
+            ++nodes;
+            dp[0].push_back(allowed(0, c) ? eval.layers[0][c].est_cycles
+                                          : kInf);
             parent[0].push_back(0);
         }
         for (size_t i = 1; i < n; ++i) {
-            dp[i].assign(eval.layers[i].size(),
-                         std::numeric_limits<int64_t>::max());
+            dp[i].assign(eval.layers[i].size(), kInf);
             parent[i].assign(eval.layers[i].size(), 0);
             for (size_t c = 0; c < eval.layers[i].size(); ++c) {
+                if (!allowed(i, c)) continue;
                 for (size_t p = 0; p < eval.layers[i - 1].size(); ++p) {
+                    if (dp[i - 1][p] == kInf) continue;
+                    ++nodes;
                     const int64_t cost = dp[i - 1][p] + edge(i, p, c) +
                                          eval.layers[i][c].est_cycles;
                     if (cost < dp[i][c]) {
@@ -381,11 +463,21 @@ Scheduler::pickCandidates(const ModelGraph &graph, const Evaluation &eval,
         for (size_t c = 1; c < dp[n - 1].size(); ++c) {
             if (dp[n - 1][c] < dp[n - 1][best]) best = c;
         }
+        if (dp[n - 1][best] == kInf) {
+            // Only reachable when a pin excludes some layer entirely.
+            if (error) {
+                *error = strCat(toString(policy), " cannot schedule ",
+                                graph.name, ": no ", policy.pinned,
+                                " candidate for every layer");
+            }
+            return false;
+        }
         picks[n - 1] = best;
         for (size_t i = n - 1; i > 0; --i) {
             picks[i - 1] = parent[i][picks[i]];
         }
     }
+    if (search_nodes) *search_nodes = nodes;
     return true;
 }
 
@@ -401,6 +493,7 @@ Scheduler::assemble(const ModelGraph &graph, const Evaluation &eval,
     result.ah = resolvedAh(graph);
     result.seed = opts_.seed;
     result.engine = opts_.engine;
+    result.fleet = opts_.fleet.enabled() ? opts_.fleet.spec : "";
     for (size_t i = 0; i < graph.layers.size(); ++i) {
         const Candidate &cand = eval.layers[i][picks[i]];
         LayerChoice choice;
@@ -413,6 +506,18 @@ Scheduler::assemble(const ModelGraph &graph, const Evaluation &eval,
         choice.est_cycles = cand.est_cycles;
         choice.reorder_cycles =
             i > 0 ? eval.edges[i][picks[i - 1]][picks[i]] : 0;
+        choice.device = cand.device;
+        if (cand.device >= 0) {
+            choice.device_name =
+                opts_.fleet.devices[size_t(cand.device)].name;
+            if (i > 0 &&
+                eval.layers[i - 1][picks[i - 1]].device != cand.device) {
+                // Cross-device edge: its price (reorder + link transfer)
+                // already sits in reorder_cycles; count it separately too.
+                ++result.handoffs;
+                result.handoff_cycles += choice.reorder_cycles;
+            }
+        }
         result.est_total += choice.est_cycles + choice.reorder_cycles;
         result.layers.push_back(std::move(choice));
     }
@@ -423,50 +528,84 @@ bool
 Scheduler::measure(const ModelGraph &graph, ScheduleResult *result,
                    std::string *error)
 {
-    // Step 5: execute the chosen schedule as one chain through the StaB
-    // ping-pong (layer i writes directly in layer i+1's input layout) and
-    // verify the final activations bit-exactly.
-    sim::Scenario scenario;
-    scenario.name = graph.name;
-    scenario.default_aw = result->aw;
-    scenario.default_ah = result->ah;
+    // Step 5: execute the chosen schedule as measured, bit-exact chains
+    // through the StaB ping-pong (layer i writes directly in layer i+1's
+    // input layout). Outside fleet mode this is one chain; in fleet mode
+    // each contiguous same-device segment runs as one chain on its
+    // device's shape (through that device's cache scope), and the
+    // cross-device hand-off between segments is priced by the edge model,
+    // not replayed — each segment verifies bit-exactly against the
+    // reference operators from freshly seeded inputs. A 1-device fleet
+    // has exactly one segment and reproduces the non-fleet measurement.
+    struct Segment
+    {
+        size_t first; ///< layer range [first, last]
+        size_t last;
+        int aw;
+        int ah;
+        std::string scope;
+    };
+    std::vector<Segment> segments;
     for (size_t i = 0; i < graph.layers.size(); ++i) {
-        scenario.layers.push_back({graph.layers[i].spec,
-                                   result->layers[i].dataflow,
-                                   graph.layers[i].multiplier});
+        const int dev = result->layers[i].device;
+        if (!segments.empty() &&
+            result->layers[segments.back().first].device == dev) {
+            segments.back().last = i;
+            continue;
+        }
+        Segment seg;
+        seg.first = seg.last = i;
+        seg.aw = dev >= 0 ? opts_.fleet.devices[size_t(dev)].aw
+                          : result->aw;
+        seg.ah = dev >= 0 ? opts_.fleet.devices[size_t(dev)].ah
+                          : result->ah;
+        seg.scope = dev >= 0 ? opts_.fleet.devices[size_t(dev)].name
+                             : std::string();
+        segments.push_back(seg);
     }
-    sim::ScenarioOptions sopts;
-    sopts.aw = result->aw;
-    sopts.ah = result->ah;
-    sopts.seed = opts_.seed;
-    // Measured cycles are the ground truth the report ranks schedules by:
-    // the chain always replays cycle-accurately, whatever tier evaluated
-    // the candidates.
-    sopts.engine = sim::EngineMode::Cycle;
+
     const auto start = std::chrono::steady_clock::now();
-    const std::optional<sim::ScenarioRun> run =
-        sim::runScenario(scenario, sopts, error, cache().planFn());
-    if (!run) return false;
+    for (const Segment &seg : segments) {
+        sim::Scenario scenario;
+        scenario.name = graph.name;
+        scenario.default_aw = seg.aw;
+        scenario.default_ah = seg.ah;
+        for (size_t i = seg.first; i <= seg.last; ++i) {
+            scenario.layers.push_back({graph.layers[i].spec,
+                                       result->layers[i].dataflow,
+                                       graph.layers[i].multiplier});
+        }
+        sim::ScenarioOptions sopts;
+        sopts.aw = seg.aw;
+        sopts.ah = seg.ah;
+        sopts.seed = opts_.seed;
+        // Measured cycles are the ground truth the report ranks schedules
+        // by: the chain always replays cycle-accurately, whatever tier
+        // evaluated the candidates.
+        sopts.engine = sim::EngineMode::Cycle;
+        const std::optional<sim::ScenarioRun> run =
+            sim::runScenario(scenario, sopts, error, cache().planFn(seg.scope));
+        if (!run) return false;
+        for (size_t i = seg.first; i <= seg.last; ++i) {
+            const sim::RunResult &r = run->chain.layers[i - seg.first];
+            result->layers[i].cycles = r.stats.cycles;
+            result->layers[i].macs = r.stats.macs;
+            result->layers[i].read_stalls = r.stats.read_stall_cycles;
+            result->layers[i].write_stalls = r.stats.write_stall_cycles;
+            result->cycles += r.stats.cycles;
+            result->macs += r.stats.macs;
+            result->read_stalls += r.stats.read_stall_cycles;
+            result->write_stalls += r.stats.write_stall_cycles;
+            result->arena_peak_bytes =
+                std::max(result->arena_peak_bytes, r.stats.arena_peak_bytes);
+        }
+        result->checked += run->chain.checked;
+        result->mismatches += run->chain.mismatches;
+    }
     result->sim_wall_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
             .count();
-
-    for (size_t i = 0; i < graph.layers.size(); ++i) {
-        const sim::RunResult &r = run->chain.layers[i];
-        result->layers[i].cycles = r.stats.cycles;
-        result->layers[i].macs = r.stats.macs;
-        result->layers[i].read_stalls = r.stats.read_stall_cycles;
-        result->layers[i].write_stalls = r.stats.write_stall_cycles;
-        result->cycles += r.stats.cycles;
-        result->macs += r.stats.macs;
-        result->read_stalls += r.stats.read_stall_cycles;
-        result->write_stalls += r.stats.write_stall_cycles;
-        result->arena_peak_bytes =
-            std::max(result->arena_peak_bytes, r.stats.arena_peak_bytes);
-    }
-    result->checked = run->chain.checked;
-    result->mismatches = run->chain.mismatches;
     return true;
 }
 
@@ -475,10 +614,12 @@ Scheduler::schedule(const ModelGraph &graph, const Evaluation &eval,
                     const SchedulePolicy &policy, std::string *error)
 {
     std::vector<size_t> picks;
-    if (!pickCandidates(graph, eval, policy, &picks, error)) {
+    int64_t search_nodes = 0;
+    if (!pickCandidates(graph, eval, policy, &picks, &search_nodes, error)) {
         return std::nullopt;
     }
     ScheduleResult result = assemble(graph, eval, policy, picks);
+    result.search_nodes = search_nodes;
     if (!measure(graph, &result, error)) return std::nullopt;
     return result;
 }
@@ -491,15 +632,26 @@ Scheduler::compare(const ModelGraph &graph, const SchedulePolicy &primary,
     if (!eval) return std::nullopt;
 
     std::vector<SchedulePolicy> policies = {primary};
-    const SchedulePolicy per_layer{ScheduleKind::PerLayer,
-                                   sim::DataflowKind::Canonical};
-    const SchedulePolicy greedy{ScheduleKind::Greedy,
-                                sim::DataflowKind::Canonical};
+    SchedulePolicy per_layer;
+    per_layer.kind = ScheduleKind::PerLayer;
+    SchedulePolicy greedy;
+    greedy.kind = ScheduleKind::Greedy;
     for (const SchedulePolicy &p : {per_layer, greedy}) {
         if (toString(p) != toString(primary)) policies.push_back(p);
     }
     for (sim::DataflowKind kind : kFamilies) {
-        const SchedulePolicy p{ScheduleKind::Fixed, kind};
+        SchedulePolicy p;
+        p.kind = ScheduleKind::Fixed;
+        p.fixed = kind;
+        if (toString(p) != toString(primary)) policies.push_back(p);
+    }
+    // Fleet mode: every single-device placement is a baseline the primary
+    // schedule is ranked against (the DP should beat the best of them
+    // whenever splitting the graph pays for its hand-offs).
+    for (const FleetDevice &dev : opts_.fleet.devices) {
+        SchedulePolicy p;
+        p.kind = ScheduleKind::Pinned;
+        p.pinned = dev.name;
         if (toString(p) != toString(primary)) policies.push_back(p);
     }
 
@@ -518,10 +670,13 @@ Scheduler::compare(const ModelGraph &graph, const SchedulePolicy &primary,
     std::vector<Slot> slots(policies.size());
     for (size_t i = 0; i < policies.size(); ++i) {
         Slot &slot = slots[i];
+        int64_t search_nodes = 0;
         slot.picked = pickCandidates(graph, *eval, policies[i],
-                                     &slot.picks, &slot.error);
+                                     &slot.picks, &search_nodes,
+                                     &slot.error);
         if (!slot.picked) continue;
         slot.result = assemble(graph, *eval, policies[i], slot.picks);
+        slot.result.search_nodes = search_nodes;
         slot.measure_as = i;
         for (size_t j = 0; j < i; ++j) {
             if (slots[j].picked && slots[j].picks == slot.picks) {
@@ -561,10 +716,12 @@ Scheduler::compare(const ModelGraph &graph, const SchedulePolicy &primary,
         Slot &slot = slots[i];
         const Slot &measured = slots[slot.measure_as];
         if (!slot.picked || !measured.picked) {
-            if (policies[i].kind == ScheduleKind::Fixed &&
+            if ((policies[i].kind == ScheduleKind::Fixed ||
+                 policies[i].kind == ScheduleKind::Pinned) &&
                 toString(policies[i]) != toString(primary)) {
-                // A baseline family that cannot map every layer is simply
-                // absent from the comparison; the primary must schedule.
+                // A baseline family or device that cannot map every layer
+                // is simply absent from the comparison; the primary must
+                // schedule.
                 continue;
             }
             if (error) {

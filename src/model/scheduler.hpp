@@ -30,12 +30,28 @@
  *      the StaB ping-pong (layer i writes directly in layer i+1's input
  *      layout) and verified bit-exactly end-to-end; measured cycles are
  *      the ground truth the report ranks schedules by.
+ *
+ * Fleet mode (SchedulerOptions::fleet non-empty) generalizes the DP state
+ * to (layer, device, candidate): every layer's candidates are enumerated
+ * once per fleet device at that device's array shape (through the
+ * device-scoped PlanCache partition), intra-device switches keep their
+ * reorderCost pricing, and inter-device edges are priced by handoffCost
+ * (BIRRD reorder + inter-chip link transfer). The chosen schedule splits
+ * into contiguous same-device segments (pipeline parallelism); each
+ * segment is measured as one cycle-accurate chain on its device and
+ * verified bit-exactly against the reference operators — the hand-off
+ * itself is priced, not replayed. Two extra baselines exist only here:
+ * pinned:<device> restricts the whole graph to one device (the
+ * single-device placements the DP must beat), and compare() ranks the
+ * primary schedule against every pinned placement. A 1-device fleet
+ * reproduces the single-device path bit-exactly.
  */
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "model/fleet.hpp"
 #include "model/graph.hpp"
 #include "serve/plan_cache.hpp"
 #include "sim/scenario.hpp"
@@ -60,14 +76,6 @@ namespace model {
 int64_t reorderCost(const Layout &src, const Layout &dst,
                     const Extents &extents);
 
-/** Chip-to-chip link model for cross-device hand-offs in a simulated
- *  fleet (the serving daemon's --fleet mode). */
-struct InterChipLink
-{
-    /** Payload bytes the link moves per cycle (per-byte transfer term). */
-    int64_t bytes_per_cycle = 16;
-};
-
 /**
  * Cycles to hand a tensor of @p extents (elements of @p elem_bytes each,
  * resident under layout @p src) over to a device whose consumer wants
@@ -84,22 +92,26 @@ int64_t handoffCost(bool same_device, const Layout &src, const Layout &dst,
 // Schedules
 // ---------------------------------------------------------------------------
 
-/** How to pick each layer's dataflow family. */
+/** How to pick each layer's dataflow family (and, in fleet mode, its
+ *  device). */
 enum class ScheduleKind : uint8_t {
     PerLayer, ///< DP shortest path over candidates + switching costs
     Greedy,   ///< pick each layer's best given only the previous choice
     Fixed,    ///< force one family everywhere (the baseline)
+    Pinned,   ///< fleet only: force every layer onto one named device
 };
 
-/** A schedule policy: the kind plus the family forced by Fixed. */
+/** A schedule policy: the kind plus the family forced by Fixed or the
+ *  device name forced by Pinned. */
 struct SchedulePolicy
 {
     ScheduleKind kind = ScheduleKind::PerLayer;
     sim::DataflowKind fixed = sim::DataflowKind::Canonical;
+    std::string pinned; ///< Pinned: fleet device name
 };
 
-/** Parse "per-layer", "greedy" or "fixed:<dataflow>" (ws|cp|wp or long
- *  names). */
+/** Parse "per-layer", "greedy", "fixed:<dataflow>" (ws|cp|wp or long
+ *  names), or "pinned:<device>" (fleet mode only). */
 std::optional<SchedulePolicy> parseSchedule(const std::string &name,
                                             std::string *error = nullptr);
 
@@ -117,6 +129,11 @@ struct Candidate
     /** Verified against the reference operator. Always false under the
      *  analytic engine, which estimates without producing outputs. */
     bool bit_exact = false;
+    /** Fleet device index this candidate runs on; -1 outside fleet mode.
+     *  Fleet evaluations flatten per-device candidate lists into one
+     *  tagged list per layer, so the DP/greedy/fixed policies search
+     *  (device, candidate) pairs without special-casing. */
+    int device = -1;
 };
 
 /** The evaluated candidate table of one graph (scheduler steps 1-3). */
@@ -139,6 +156,9 @@ struct LayerChoice
     sim::LayerPlan plan;
     int64_t est_cycles = 0;     ///< candidate's standalone estimate
     int64_t reorder_cycles = 0; ///< edge price from the previous layer
+    /** Fleet placement; -1/"" outside fleet mode. */
+    int device = -1;
+    std::string device_name;
     // Measured from the final chain run.
     int64_t cycles = 0;
     int64_t macs = 0;
@@ -170,6 +190,12 @@ struct ScheduleResult
     int64_t sim_wall_us = 0;
     /** Peak per-layer arena scratch over the measured chain. */
     int64_t arena_peak_bytes = 0;
+    // Fleet-mode extras (defaults outside fleet mode).
+    std::string fleet;          ///< normalized fleet spec, "" when none
+    int64_t search_nodes = 0;   ///< (layer, device, candidate) states
+                                ///< relaxed/scanned by the pick
+    int64_t handoffs = 0;       ///< cross-device edges in the schedule
+    int64_t handoff_cycles = 0; ///< summed handoffCost of those edges
 
     bool bitExact() const { return checked > 0 && mismatches == 0; }
     double
@@ -216,6 +242,11 @@ struct SchedulerOptions
      *  requests reuse (and contribute) plans across the whole run. The
      *  cache must outlive the Scheduler; nullptr keeps the private one. */
     serve::PlanCache *shared_cache = nullptr;
+    /** Non-empty switches on fleet mode: candidates are enumerated per
+     *  device at that device's array shape (aw/ah above are ignored),
+     *  inter-device edges are priced by handoffCost, and the schedule is
+     *  measured as contiguous same-device segments. */
+    FleetSpec fleet;
 };
 
 /** Per-layer dataflow/layout scheduler over ModelGraphs. */
@@ -256,10 +287,12 @@ class Scheduler
     int resolvedAw(const ModelGraph &graph) const;
     int resolvedAh(const ModelGraph &graph) const;
 
-    /** Steps 3+4: one candidate index per layer under @p policy. */
+    /** Steps 3+4: one candidate index per layer under @p policy.
+     *  @p search_nodes counts the states scanned/relaxed by the pick. */
     bool pickCandidates(const ModelGraph &graph, const Evaluation &eval,
                         const SchedulePolicy &policy,
-                        std::vector<size_t> *picks, std::string *error);
+                        std::vector<size_t> *picks, int64_t *search_nodes,
+                        std::string *error);
 
     /** Result skeleton (choices, estimates, edge prices) for @p picks. */
     ScheduleResult assemble(const ModelGraph &graph, const Evaluation &eval,

@@ -673,6 +673,271 @@ TEST(FleetReportSchema, JsonKeysMatchGolden)
 
 } // namespace schema
 
+// ---------------------------------------------------------------------------
+// Staged pipelines in the DES (graph-over-fleet requests)
+// ---------------------------------------------------------------------------
+
+/** DES harness for staged arrivals: fixed per-(index, stage) durations,
+ *  records every stage window and the final completion. */
+struct StagedHarness
+{
+    struct Window
+    {
+        size_t index;
+        int stage;
+        int device;
+        int64_t start;
+        int64_t finish;
+    };
+
+    std::vector<std::vector<int64_t>> stage_durations; ///< [index][stage]
+    std::vector<Window> windows;
+    std::vector<Window> completions; ///< stage = last stage index
+
+    explicit StagedHarness(VirtualConfig cfg)
+        : vs(cfg, [](size_t, int) { return int64_t(50); },
+             [this](size_t i, int device, int64_t s, int64_t f) {
+                 completions.push_back({i, -1, device, s, f});
+             })
+    {
+        vs.setStageHooks(
+            [this](size_t i, int stage, int) {
+                return stage_durations[i][size_t(stage)];
+            },
+            [this](size_t i, int stage, int device, int64_t s, int64_t f) {
+                windows.push_back({i, stage, device, s, f});
+            });
+    }
+
+    void
+    arrive(size_t index, int64_t at, std::vector<StagePlan> stages,
+           std::vector<int64_t> durations)
+    {
+        ASSERT_EQ(index, stage_durations.size());
+        stage_durations.push_back(std::move(durations));
+        std::string reason;
+        ASSERT_TRUE(vs.arriveStaged(index, at, 1, std::move(stages),
+                                    &reason))
+            << reason;
+    }
+
+    VirtualScheduler vs;
+};
+
+VirtualConfig
+twoDeviceConfig()
+{
+    VirtualConfig cfg;
+    cfg.devices = {{"a", 1}, {"b", 1}};
+    cfg.place = PlacementPolicy::LeastLoaded;
+    return cfg;
+}
+
+TEST(StagedScheduler, StagesRunInOrderAndChargeTheHandoffPremium)
+{
+    StagedHarness h(twoDeviceConfig());
+    h.arrive(0, 0, {{0, 0}, {1, 5}}, {10, 20});
+    h.vs.drain();
+    ASSERT_EQ(h.windows.size(), 2u);
+    EXPECT_EQ(h.windows[0].device, 0);
+    EXPECT_EQ(h.windows[0].start, 0);
+    EXPECT_EQ(h.windows[0].finish, 10);
+    EXPECT_EQ(h.windows[1].device, 1);
+    EXPECT_EQ(h.windows[1].start, 10);
+    EXPECT_EQ(h.windows[1].finish, 35) << "20 service + 5 hand-off";
+    // One completion, spanning first start to last finish.
+    ASSERT_EQ(h.completions.size(), 1u);
+    EXPECT_EQ(h.completions[0].device, 1);
+    EXPECT_EQ(h.completions[0].start, 0);
+    EXPECT_EQ(h.completions[0].finish, 35);
+}
+
+TEST(StagedScheduler, IndependentPipelinesInterleaveInVirtualTime)
+{
+    // Two identical a->b pipelines: request 1's first stage overlaps
+    // request 0's second stage, so the makespan is 3 windows, not 4.
+    StagedHarness h(twoDeviceConfig());
+    h.arrive(0, 0, {{0, 0}, {1, 0}}, {10, 10});
+    h.arrive(1, 0, {{0, 0}, {1, 0}}, {10, 10});
+    h.vs.drain();
+    ASSERT_EQ(h.completions.size(), 2u);
+    EXPECT_EQ(h.completions[0].finish, 20);
+    EXPECT_EQ(h.completions[1].finish, 30)
+        << "stage interleaving: 30, not the serialized 40";
+    EXPECT_EQ(h.vs.lastFinish(), 30);
+}
+
+TEST(StagedScheduler, ContinuationStageQueuesBehindABusyDevice)
+{
+    StagedHarness h(twoDeviceConfig());
+    // Request 0 occupies device b until t=100; request 1's second stage
+    // must wait for it.
+    h.arrive(0, 0, {{1, 0}}, {100});
+    h.arrive(1, 0, {{0, 0}, {1, 0}}, {10, 10});
+    h.vs.drain();
+    ASSERT_EQ(h.windows.size(), 3u);
+    const StagedHarness::Window &w = h.windows.back();
+    EXPECT_EQ(w.index, 1u);
+    EXPECT_EQ(w.stage, 1);
+    EXPECT_EQ(w.start, 100) << "waited for device b to free";
+    EXPECT_EQ(w.finish, 110);
+}
+
+TEST(StagedScheduler, ContinuationReclaimsItsOwnDeviceBeforeWaiters)
+{
+    // Both stages of request 0 are pinned to device a; request 1 waits
+    // on a. The continuation starts immediately at its own stage-0
+    // finish — the waiter must not double-claim the freed server.
+    StagedHarness h(twoDeviceConfig());
+    h.arrive(0, 0, {{0, 0}, {0, 0}}, {10, 10});
+    h.arrive(1, 0, {{0, 0}}, {10});
+    h.vs.drain();
+    ASSERT_EQ(h.windows.size(), 3u);
+    EXPECT_EQ(h.windows[1].index, 0u);
+    EXPECT_EQ(h.windows[1].stage, 1);
+    EXPECT_EQ(h.windows[1].start, 10);
+    EXPECT_EQ(h.windows[2].index, 1u);
+    EXPECT_EQ(h.windows[2].start, 20) << "waiter runs after the pipeline";
+    EXPECT_EQ(h.vs.lastFinish(), 30);
+}
+
+// ---------------------------------------------------------------------------
+// Graph-over-fleet requests end to end
+// ---------------------------------------------------------------------------
+
+/** One whole-graph request (mobilenet_slice splits on the CI fleet). */
+Request
+graphRequest(const std::string &id, const std::string &client, int64_t at)
+{
+    Request req;
+    req.id = id;
+    req.client = client;
+    req.model = "mobilenet_slice";
+    req.arrival_us = at;
+    return req;
+}
+
+TEST(GraphOverFleet, StagedResponseCarriesTheDevicePath)
+{
+    const DaemonRun run = runDaemon(
+        {graphRequest("g0", "c0", 0)},
+        fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                     PlacementPolicy::LeastLoaded));
+    ASSERT_EQ(run.responses.size(), 1u);
+    const std::string &line = run.responses[0];
+    EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos) << line;
+    // The fleet DP splits mobilenet_slice 32x32 -> 16x16, and the
+    // response's device field names the whole pipeline.
+    EXPECT_NE(line.find("\"device\":\"feather:32x32>feather:16x16\""),
+              std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("\"handoff_vus\":0"), std::string::npos)
+        << "the cross-device edge must be priced: " << line;
+}
+
+TEST(GraphOverFleet, EachStageIsAccountedOnItsOwnDevice)
+{
+    const DaemonRun run = runDaemon(
+        {graphRequest("g0", "c0", 0)},
+        fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                     PlacementPolicy::LeastLoaded));
+    ASSERT_EQ(run.report.devices.size(), 3u);
+    std::map<std::string, DeviceRow> rows;
+    for (const DeviceRow &row : run.report.devices) {
+        rows[row.device] = row;
+    }
+    // One DES service window per stage: both pipeline devices served the
+    // request, the third sat idle.
+    EXPECT_EQ(rows["feather:32x32"].requests, 1u);
+    EXPECT_EQ(rows["feather:16x16"].requests, 1u);
+    EXPECT_EQ(rows["tpu-like"].requests, 0u);
+    EXPECT_GT(rows["feather:32x32"].busy_vus, 0);
+    EXPECT_GT(rows["feather:16x16"].busy_vus, 0);
+    // The hand-off premium lands on the device the edge feeds.
+    EXPECT_EQ(rows["feather:16x16"].handoffs, 1u);
+    EXPECT_GT(rows["feather:16x16"].handoff_vus, 0);
+    EXPECT_EQ(rows["feather:32x32"].handoffs, 0u);
+}
+
+TEST(GraphOverFleet, IndependentGraphRequestsInterleaveAcrossStages)
+{
+    const DaemonRun one = runDaemon(
+        {graphRequest("g0", "c0", 0)},
+        fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                     PlacementPolicy::LeastLoaded));
+    const DaemonRun two = runDaemon(
+        {graphRequest("g0", "c0", 0), graphRequest("g1", "c1", 1)},
+        fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                     PlacementPolicy::LeastLoaded));
+    ASSERT_EQ(one.report.errors, 0u);
+    ASSERT_EQ(two.report.errors, 0u);
+    const int64_t solo = one.report.makespan_vus;
+    // Pipelining: g1's first stage runs while g0's second stage is in
+    // flight, so two requests finish well before 2x one request.
+    EXPECT_LT(two.report.makespan_vus, 2 * solo);
+    EXPECT_GT(two.report.makespan_vus, solo);
+}
+
+TEST(GraphOverFleet, MixedTraceIsBitIdenticalAcrossJobs)
+{
+    // Graph requests riding a scenario-dense trace: every response and
+    // every non-wall report field must be identical at any pool size.
+    std::vector<Request> reqs = cannedTrace(16);
+    reqs.insert(reqs.begin() + 4, graphRequest("g0", "c0", 170));
+    reqs.insert(reqs.begin() + 9, graphRequest("g1", "c2", 330));
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].arrival_us = int64_t(i) * 40; // restore monotone arrivals
+    }
+    const DaemonRun a = runDaemon(
+        reqs, fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                           PlacementPolicy::Affinity, 1));
+    const DaemonRun b = runDaemon(
+        reqs, fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                           PlacementPolicy::Affinity, 8));
+    ASSERT_EQ(a.responses.size(), b.responses.size());
+    for (size_t i = 0; i < a.responses.size(); ++i) {
+        EXPECT_EQ(golden::zeroWallJson(a.responses[i]),
+                  golden::zeroWallJson(b.responses[i]))
+            << "response " << i;
+    }
+    EXPECT_EQ(golden::zeroWallJson(a.report.toJson()),
+              golden::zeroWallJson(b.report.toJson()));
+}
+
+TEST(GraphOverFleet, SameClientStreamPaysTheMigrationHandoff)
+{
+    // c0's first graph request parks its stream on the pipeline's last
+    // device; a later scenario request placed elsewhere pays the
+    // client-stream hand-off, while a graph request re-entering the
+    // pipeline pays it on its first stage.
+    std::vector<Request> reqs = {graphRequest("g0", "c0", 0),
+                                 graphRequest("g1", "c0", 1)};
+    const DaemonRun run = runDaemon(
+        reqs, fleetOptions("feather:16x16,feather:32x32,tpu-like",
+                           PlacementPolicy::LeastLoaded));
+    ASSERT_EQ(run.responses.size(), 2u);
+    // g0: cross-device pipeline edge only. g1: that edge plus the
+    // client-stream migration back to the pipeline head, so its total
+    // hand-off premium is strictly larger.
+    const auto premium = [](const std::string &line) {
+        const size_t at = line.find("\"handoff_vus\":");
+        EXPECT_NE(at, std::string::npos) << line;
+        return std::stoll(line.substr(at + 14));
+    };
+    int64_t g0 = 0;
+    int64_t g1 = 0;
+    for (const std::string &line : run.responses) {
+        if (line.find("\"id\":\"g0\"") != std::string::npos) {
+            g0 = premium(line);
+        }
+        if (line.find("\"id\":\"g1\"") != std::string::npos) {
+            g1 = premium(line);
+        }
+    }
+    EXPECT_GT(g0, 0);
+    EXPECT_GT(g1, g0);
+}
+
 } // namespace
 } // namespace daemon
 } // namespace feather

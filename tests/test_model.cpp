@@ -315,7 +315,7 @@ TEST(Scheduler, PerLayerNeverLosesToBestFixedOnBuiltins)
         std::string error;
         const auto cmp = s.compare(
             g, SchedulePolicy{ScheduleKind::PerLayer,
-                              sim::DataflowKind::Canonical},
+                              sim::DataflowKind::Canonical, {}},
             &error);
         ASSERT_TRUE(cmp.has_value()) << g.name << ": " << error;
         const ScheduleResult &p = cmp->primary();
@@ -338,7 +338,7 @@ TEST(Scheduler, PerLayerStrictlyBeatsAFixedDataflowOnResnetBlock)
     std::string error;
     const auto cmp = s.compare(
         *g,
-        SchedulePolicy{ScheduleKind::PerLayer, sim::DataflowKind::Canonical},
+        SchedulePolicy{ScheduleKind::PerLayer, sim::DataflowKind::Canonical, {}},
         &error);
     ASSERT_TRUE(cmp.has_value()) << error;
     bool beat_one = false;
@@ -366,7 +366,7 @@ TEST(Scheduler, FixedScheduleMatchesItsStandaloneEstimates)
     const auto fixed = s.schedule(
         *g, *eval,
         SchedulePolicy{ScheduleKind::Fixed,
-                       sim::DataflowKind::WindowParallel},
+                       sim::DataflowKind::WindowParallel, {}},
         &error);
     ASSERT_TRUE(fixed.has_value()) << error;
     EXPECT_EQ(fixed->est_total, fixed->cycles);
@@ -387,7 +387,7 @@ TEST(Scheduler, GreedyRespectsPreviousChoice)
     ASSERT_TRUE(eval.has_value()) << error;
     const auto greedy = s.schedule(
         *g, *eval,
-        SchedulePolicy{ScheduleKind::Greedy, sim::DataflowKind::Canonical},
+        SchedulePolicy{ScheduleKind::Greedy, sim::DataflowKind::Canonical, {}},
         &error);
     ASSERT_TRUE(greedy.has_value()) << error;
     EXPECT_TRUE(greedy->bitExact());
@@ -409,7 +409,7 @@ TEST(Scheduler, ReportIsBitIdenticalAcrossThreadCounts)
         const auto cmp = s.compare(
             *g,
             SchedulePolicy{ScheduleKind::PerLayer,
-                           sim::DataflowKind::Canonical},
+                           sim::DataflowKind::Canonical, {}},
             &error);
         ASSERT_TRUE(cmp.has_value()) << error;
         const ScheduleReport report{*cmp};
@@ -493,7 +493,7 @@ sampleReport()
     std::string error;
     const auto cmp = s.compare(
         *g,
-        SchedulePolicy{ScheduleKind::PerLayer, sim::DataflowKind::Canonical},
+        SchedulePolicy{ScheduleKind::PerLayer, sim::DataflowKind::Canonical, {}},
         &error);
     EXPECT_TRUE(cmp.has_value()) << error;
     return ScheduleReport{*cmp};
